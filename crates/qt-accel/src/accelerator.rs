@@ -1,0 +1,278 @@
+//! Full-accelerator composition (Figure 11 / Figure 13): an `N×N` systolic
+//! array of MAC PEs, an `N`-lane vector unit, posit codecs at the array
+//! boundary, and SRAM buffers.
+
+use crate::cost::{sram, synthesize, AreaPower, Gates, SynthesisPoint, Tech40};
+use crate::units::{MacUnit, PositCodec, VectorUnit};
+
+/// The five datapaths compared in Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Datapath {
+    /// BF16 operands, FP32 accumulation and vector unit (baseline).
+    Bf16,
+    /// Posit(8,1) operands (decoded E5M4), BF16 accumulation, posit
+    /// approximate vector unit, boundary codecs.
+    Posit8,
+    /// Hybrid FP8 (E5M3 MAC supporting both E4M3 and E5M2), BF16
+    /// accumulation, exact BF16 vector unit.
+    HybridFp8,
+    /// E4M3-only MAC.
+    E4M3,
+    /// E5M2-only MAC.
+    E5M2,
+}
+
+impl Datapath {
+    /// All five, in Figure 13's order.
+    pub const ALL: [Datapath; 5] = [
+        Datapath::Bf16,
+        Datapath::Posit8,
+        Datapath::HybridFp8,
+        Datapath::E4M3,
+        Datapath::E5M2,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Datapath::Bf16 => "BF16",
+            Datapath::Posit8 => "Posit8",
+            Datapath::HybridFp8 => "Hybrid FP8",
+            Datapath::E4M3 => "E4M3",
+            Datapath::E5M2 => "E5M2",
+        }
+    }
+
+    /// Storage bits per operand element.
+    pub fn operand_bits(self) -> u64 {
+        match self {
+            Datapath::Bf16 => 16,
+            _ => 8,
+        }
+    }
+
+    /// Accumulator width in bits.
+    pub fn acc_bits(self) -> u64 {
+        match self {
+            Datapath::Bf16 => 32,
+            _ => 16,
+        }
+    }
+
+    /// The MAC of this datapath.
+    pub fn mac(self) -> MacUnit {
+        match self {
+            Datapath::Bf16 => MacUnit::bf16(),
+            Datapath::Posit8 => MacUnit::posit8(),
+            Datapath::HybridFp8 => MacUnit::hybrid_fp8(),
+            Datapath::E4M3 => MacUnit::e4m3(),
+            Datapath::E5M2 => MacUnit::e5m2(),
+        }
+    }
+
+    /// The vector unit of this datapath at `lanes` lanes.
+    pub fn vector_unit(self, lanes: u32) -> VectorUnit {
+        match self {
+            Datapath::Bf16 => VectorUnit::bf16_style(lanes),
+            Datapath::Posit8 => VectorUnit::posit8_style(lanes),
+            _ => VectorUnit::fp8_style(lanes),
+        }
+    }
+}
+
+/// An `N×N` accelerator instance.
+///
+/// SRAM buffers have a fixed **byte** capacity per lane (the physical
+/// macros are the same across datapaths); an 8-bit datapath therefore fits
+/// twice the elements of the BF16 one, and its area savings come from the
+/// logic, as in the paper's Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accelerator {
+    /// Array dimension (PEs per side; also vector lanes).
+    pub n: u32,
+    /// Datapath flavour.
+    pub datapath: Datapath,
+    /// Weight-buffer capacity in KiB.
+    pub weight_buf_kib: u64,
+    /// Activation-buffer capacity in KiB.
+    pub act_buf_kib: u64,
+    /// Accumulator-buffer capacity in KiB.
+    pub acc_buf_kib: u64,
+}
+
+/// Area/power breakdown of a synthesized accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccelReport {
+    /// Systolic MAC array (PEs incl. pipeline registers).
+    pub array: AreaPower,
+    /// Vector unit.
+    pub vector: AreaPower,
+    /// Posit boundary codecs (zero for float datapaths).
+    pub codecs: AreaPower,
+    /// SRAM macros.
+    pub sram: AreaPower,
+}
+
+impl AccelReport {
+    /// Sum of all components.
+    pub fn total(&self) -> AreaPower {
+        self.array
+            .plus(self.vector)
+            .plus(self.codecs)
+            .plus(self.sram)
+    }
+}
+
+impl Accelerator {
+    /// Accelerator with edge-scale buffers: 16 KiB of weight and
+    /// activation SRAM per lane and 4 KiB of accumulator SRAM per lane
+    /// (n = 8 → 288 KiB total, n = 32 → 1.1 MiB, in line with edge
+    /// accelerators like CHIMERA \[22\]).
+    pub fn new(n: u32, datapath: Datapath) -> Self {
+        Self {
+            n,
+            datapath,
+            weight_buf_kib: 16 * n as u64,
+            act_buf_kib: 16 * n as u64,
+            acc_buf_kib: 4 * n as u64,
+        }
+    }
+
+    /// Buffer capacity in *elements* of the operand format (8-bit
+    /// datapaths fit twice as many elements in the same macros).
+    pub fn operand_buf_elems(&self) -> u64 {
+        (self.weight_buf_kib + self.act_buf_kib) * 1024 * 8 / self.datapath.operand_bits()
+    }
+
+    /// One PE: the MAC plus operand pass-through pipeline registers.
+    fn pe_gates(&self) -> f64 {
+        let mac = self.datapath.mac();
+        let op_bits = 1 + mac.op_exp + mac.op_man;
+        mac.gates() + 2.0 * Gates::register(op_bits) + Gates::mux(op_bits)
+    }
+
+    /// Synthesize the accelerator.
+    pub fn synth(&self, tech: &Tech40, point: SynthesisPoint) -> AccelReport {
+        let n = self.n as f64;
+        let array = synthesize(n * n * self.pe_gates(), tech, point);
+        let vector = self.datapath.vector_unit(self.n).synth(tech, point);
+        let codecs = if self.datapath == Datapath::Posit8 {
+            let c = PositCodec::p8();
+            // decoders on both operand edges, encoders on the output edge
+            let gates =
+                2.0 * n * c.decoder_gates() + n * c.encoder_gates();
+            synthesize(gates, tech, point)
+        } else {
+            AreaPower::default()
+        };
+        let sram_bits =
+            (self.weight_buf_kib + self.act_buf_kib + self.acc_buf_kib) * 1024 * 8;
+        let sram = sram(sram_bits, tech, point);
+        // Shared infrastructure: sequencer, DMA, NoC — identical across
+        // datapaths.
+        let infra = synthesize(4000.0 * n + 30_000.0, tech, point);
+        AccelReport {
+            array: array.plus(infra),
+            vector,
+            codecs,
+            sram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal() -> (Tech40, SynthesisPoint) {
+        (Tech40::default(), SynthesisPoint::nominal())
+    }
+
+    #[test]
+    fn headline_reductions_match_abstract() {
+        // Abstract: vs BF16, Posit8 reduces area ~30% / power ~26%; FP8
+        // ~34% / ~32% (averaged over 8/16/32). Accept a generous band
+        // around those averages from our structural model.
+        let (tech, pt) = nominal();
+        let mut p8_sum = 0.0;
+        let mut fp8_sum = 0.0;
+        for n in [8u32, 16, 32] {
+            let bf = Accelerator::new(n, Datapath::Bf16).synth(&tech, pt).total();
+            let p8 = Accelerator::new(n, Datapath::Posit8).synth(&tech, pt).total();
+            let fp8 = Accelerator::new(n, Datapath::HybridFp8)
+                .synth(&tech, pt)
+                .total();
+            let p8_area_red = 1.0 - p8.area_mm2 / bf.area_mm2;
+            let fp8_area_red = 1.0 - fp8.area_mm2 / bf.area_mm2;
+            assert!(
+                (0.15..=0.55).contains(&p8_area_red),
+                "n={n} posit8 area red {p8_area_red}"
+            );
+            assert!(
+                (0.18..=0.58).contains(&fp8_area_red),
+                "n={n} fp8 area red {fp8_area_red}"
+            );
+            p8_sum += p8_area_red;
+            fp8_sum += fp8_area_red;
+            // FP8 keeps an overall edge (smaller MAC, no codecs) despite
+            // its larger vector unit — §7.3's conclusion.
+            assert!(fp8.area_mm2 < p8.area_mm2, "n={n}");
+            let p8_pow_red = 1.0 - p8.power_mw / bf.power_mw;
+            assert!(p8_pow_red > 0.15, "n={n} posit8 power red {p8_pow_red}");
+        }
+        // averages near the paper's 30% / 34%
+        assert!((0.22..=0.48).contains(&(p8_sum / 3.0)), "{}", p8_sum / 3.0);
+        assert!(fp8_sum > p8_sum, "FP8 saves more on average");
+    }
+
+    #[test]
+    fn posit_vector_unit_smaller_despite_codecs() {
+        let (tech, pt) = nominal();
+        let p8 = Accelerator::new(16, Datapath::Posit8).synth(&tech, pt);
+        let fp8 = Accelerator::new(16, Datapath::HybridFp8).synth(&tech, pt);
+        assert!(p8.vector.area_mm2 < fp8.vector.area_mm2);
+        assert!(p8.codecs.area_mm2 > 0.0);
+        assert_eq!(fp8.codecs.area_mm2, 0.0);
+        // codecs must not eat the vector-unit savings
+        assert!(
+            p8.vector.area_mm2 + p8.codecs.area_mm2 < fp8.vector.area_mm2,
+            "codecs ate the savings"
+        );
+    }
+
+    #[test]
+    fn e5m2_smallest_array() {
+        let (tech, pt) = nominal();
+        let areas: Vec<f64> = [Datapath::E5M2, Datapath::E4M3, Datapath::HybridFp8, Datapath::Posit8]
+            .iter()
+            .map(|&d| Accelerator::new(8, d).synth(&tech, pt).array.area_mm2)
+            .collect();
+        for w in areas.windows(2) {
+            assert!(w[0] <= w[1], "{areas:?}");
+        }
+    }
+
+    #[test]
+    fn same_sram_macros_twice_the_elements() {
+        let (tech, pt) = nominal();
+        let bf = Accelerator::new(16, Datapath::Bf16);
+        let p8 = Accelerator::new(16, Datapath::Posit8);
+        // identical macros…
+        assert_eq!(
+            bf.synth(&tech, pt).sram.area_mm2,
+            p8.synth(&tech, pt).sram.area_mm2
+        );
+        // …but the 8-bit datapath fits twice the elements
+        assert_eq!(p8.operand_buf_elems(), 2 * bf.operand_buf_elems());
+    }
+
+    #[test]
+    fn scales_with_array_size() {
+        let (tech, pt) = nominal();
+        let a8 = Accelerator::new(8, Datapath::Posit8).synth(&tech, pt).total();
+        let a16 = Accelerator::new(16, Datapath::Posit8).synth(&tech, pt).total();
+        let a32 = Accelerator::new(32, Datapath::Posit8).synth(&tech, pt).total();
+        assert!(a16.area_mm2 > 1.8 * a8.area_mm2);
+        assert!(a32.area_mm2 > 1.8 * a16.area_mm2);
+    }
+}

@@ -1,0 +1,66 @@
+//! **Figure 4**: decimal accuracy of E4M3 and E5M2 vs Posit(8,1) across
+//! the dynamic range.
+//!
+//! Reproduction target: posit's tapered precision — highest decimal
+//! accuracy near 1, beating E5M2 everywhere near 1 and E4M3 in a band
+//! around 1, then falling below both toward the range edges.
+
+use qt_bench::{Opts, Table};
+use qt_posit::P8E1;
+use qt_quant::ElemFormat;
+use qt_softfloat::accuracy::decimal_accuracy_of_rounding;
+use qt_softfloat::{E4M3, E5M2};
+
+fn main() {
+    let opts = Opts::parse();
+    let mut table = Table::new(
+        "Figure 4: worst-case decimal accuracy per binade",
+        &["log2(x)", "Posit(8,1)", "E4M3", "E5M2"],
+    );
+
+    let worst = |round: &dyn Fn(f64) -> f64, e: i32| -> f64 {
+        let mut w = f64::INFINITY;
+        for i in 1..64 {
+            let x = libm::exp2(e as f64 + i as f64 / 64.0);
+            let da = decimal_accuracy_of_rounding(x, round);
+            if da < w {
+                w = da;
+            }
+        }
+        w
+    };
+
+    for e in -16..=15 {
+        let p = worst(&|x| P8E1::quantize(x), e);
+        let a = worst(&|x| E4M3::quantize(x), e);
+        let b = worst(&|x| E5M2::quantize(x), e);
+        let f = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.2}")
+            } else {
+                "-inf".into()
+            }
+        };
+        table.row(&[format!("{e}"), f(p), f(a), f(b)]);
+    }
+
+    // Summary assertions of the shape, printed for EXPERIMENTS.md.
+    let near_one = |round: &dyn Fn(f64) -> f64| worst(round, 0);
+    println!(
+        "near x=1: posit {:.2} vs E4M3 {:.2} vs E5M2 {:.2} (posit highest: {})",
+        near_one(&|x| P8E1::quantize(x)),
+        near_one(&|x| E4M3::quantize(x)),
+        near_one(&|x| E5M2::quantize(x)),
+        near_one(&|x| P8E1::quantize(x)) > near_one(&|x| E4M3::quantize(x))
+    );
+    println!(
+        "ranges: posit 2^±12, E4M3 max {}, E5M2 max {}",
+        ElemFormat::E4M3.max_value(),
+        ElemFormat::E5M2.max_value()
+    );
+
+    table.print();
+    table
+        .write_json(&opts.out_dir, "fig04_decimal_accuracy")
+        .expect("write results");
+}

@@ -1,0 +1,58 @@
+//! **Figure 7**: the piecewise-linear posit reciprocal (left) and the
+//! approximate exponential in its raw / thresholded / shifted forms
+//! (right), tabulated as (x, y) series.
+
+use qt_bench::{Opts, Table};
+use qt_posit::approx::{fast_reciprocal, pwl_reciprocal, ExpApprox};
+use qt_posit::P8E1;
+
+fn main() {
+    let opts = Opts::parse();
+
+    let mut recip = Table::new(
+        "Figure 7 (left): posit reciprocal vs exact 1/x",
+        &["x", "posit recip", "ideal PWL", "exact 1/x"],
+    );
+    let mut x = 0.25;
+    while x <= 8.0 {
+        recip.row(&[
+            format!("{x:.3}"),
+            format!("{:.4}", fast_reciprocal(P8E1::from_f64(x)).to_f64()),
+            format!("{:.4}", pwl_reciprocal(x)),
+            format!("{:.4}", 1.0 / x),
+        ]);
+        x += 0.25;
+    }
+    recip.print();
+    recip
+        .write_json(&opts.out_dir, "fig07_recip_curve")
+        .expect("write results");
+
+    let raw = ExpApprox::raw();
+    let thr = ExpApprox::thresholded(-4.0);
+    let shifted = ExpApprox::PAPER_BEST;
+    let mut exp = Table::new(
+        "Figure 7 (right): approximate exponential variants vs e^x",
+        &["x", "raw (no θ)", "θ=-4", "θ=-4 + shift", "exact e^x"],
+    );
+    let mut x = -8.0;
+    while x <= 0.01 {
+        exp.row(&[
+            format!("{x:.2}"),
+            format!("{:.4}", raw.eval_f64(x)),
+            format!("{:.4}", thr.eval_f64(x)),
+            format!("{:.4}", shifted.eval_f64(x)),
+            format!("{:.4}", libm::exp(x)),
+        ]);
+        x += 0.5;
+    }
+    exp.print();
+    exp.write_json(&opts.out_dir, "fig07_exp_curves")
+        .expect("write results");
+
+    println!(
+        "raw tail at x=-8: {:.4} (fails to converge to 0); shifted tail: {:.4}",
+        raw.eval_f64(-8.0),
+        shifted.eval_f64(-8.0)
+    );
+}

@@ -1,0 +1,54 @@
+//! **Figure 12**: MAC area/power per datapath (without codec logic), plus
+//! the Posit8 encoder/decoder cost.
+//!
+//! Reproduction target: Posit8's MAC is slightly larger than hybrid FP8's
+//! (one extra fraction bit) but both are far below BF16; the posit codecs
+//! are small relative to a MAC.
+
+use qt_accel::{Datapath, PositCodec, SynthesisPoint, Tech40};
+use qt_bench::{Opts, Table};
+
+fn main() {
+    let opts = Opts::parse();
+    let tech = Tech40::default();
+    let pt = SynthesisPoint::nominal();
+
+    let mut table = Table::new(
+        "Figure 12: MAC area/power at 200 MHz (no codec) + Posit8 codec",
+        &["Unit", "Area (um2)", "Power (uW)"],
+    );
+    for d in Datapath::ALL {
+        let ap = d.mac().synth(&tech, pt);
+        table.row(&[
+            format!("{} MAC", d.name()),
+            format!("{:.0}", ap.area_mm2 * 1e6),
+            format!("{:.1}", ap.power_mw * 1e3),
+        ]);
+    }
+    let codec = PositCodec::p8();
+    let dec = codec.decoder(&tech, pt);
+    let enc = codec.encoder(&tech, pt);
+    table.row(&[
+        "Posit8 decoder".into(),
+        format!("{:.0}", dec.area_mm2 * 1e6),
+        format!("{:.1}", dec.power_mw * 1e3),
+    ]);
+    table.row(&[
+        "Posit8 encoder".into(),
+        format!("{:.0}", enc.area_mm2 * 1e6),
+        format!("{:.1}", enc.power_mw * 1e3),
+    ]);
+    table.print();
+
+    let p8 = Datapath::Posit8.mac().synth(&tech, pt);
+    let hy = Datapath::HybridFp8.mac().synth(&tech, pt);
+    let bf = Datapath::Bf16.mac().synth(&tech, pt);
+    println!(
+        "Posit8 MAC is {:.0}% larger than hybrid FP8; BF16 MAC is {:.1}x Posit8",
+        100.0 * (p8.area_mm2 / hy.area_mm2 - 1.0),
+        bf.area_mm2 / p8.area_mm2
+    );
+    table
+        .write_json(&opts.out_dir, "fig12_mac_encdec")
+        .expect("write results");
+}

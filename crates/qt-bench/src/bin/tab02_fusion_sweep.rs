@@ -1,0 +1,65 @@
+//! **Table 2**: span-extraction F1 on the synthetic SQuAD analogue across
+//! the five encoder families, for Posit8 and E4M3 at every fusion level.
+//!
+//! Reproduction target (shape, not absolute numbers): BF16 sets the
+//! ceiling; un-fused 8-bit quantization hurts the MobileBERT-style models
+//! (stacked FFNs) most; accuracy recovers monotonically-ish as fusion
+//! increases; larger BERT-style models are robust even without fusion.
+
+use qt_bench::{pretrain_span, span_task_for, Opts, Table};
+use qt_quant::{ElemFormat, FusionLevel, QuantScheme};
+use qt_train::evaluate_span_f1;
+use qt_transformer::{QuantCtx, TransformerConfig};
+
+fn main() {
+    let opts = Opts::parse();
+    let steps = opts.pick(700, 120);
+    let eval_n = opts.pick(256, 64);
+
+    let mut table = Table::new(
+        "Table 2: F1 on synthetic SQuAD vs fusion level (Posit8 / E4M3)",
+        &[
+            "Model",
+            "Params",
+            "BF16",
+            "NoFus P8",
+            "NoFus E4M3",
+            "+Attn P8",
+            "+Attn E4M3",
+            "+Act P8",
+            "+Act E4M3",
+            "+LN P8",
+            "+LN E4M3",
+            "+Res P8",
+            "+Res E4M3",
+        ],
+    );
+
+    for cfg in TransformerConfig::squad_family() {
+        let task = span_task_for(&cfg);
+        eprintln!("[tab02] pretraining {} ({} steps)…", cfg.name, steps);
+        let model = pretrain_span(&cfg, &task, steps, opts.seed);
+        let eval = task.dataset(eval_n, opts.seed ^ 0xEEE);
+
+        let f1 = |scheme: QuantScheme| {
+            evaluate_span_f1(&model, &QuantCtx::inference(scheme), &task, &eval, 32)
+        };
+        let mut cells = vec![
+            cfg.name.to_string(),
+            format!("{}k", cfg.param_count() / 1000),
+            format!("{:.1}", f1(QuantScheme::bf16())),
+        ];
+        for level in FusionLevel::ALL {
+            for fmt in [ElemFormat::P8E1, ElemFormat::E4M3] {
+                let scheme = QuantScheme::uniform(fmt).with_fusion(level);
+                cells.push(format!("{:.1}", f1(scheme)));
+            }
+        }
+        table.row(&cells);
+    }
+
+    table.print();
+    table
+        .write_json(&opts.out_dir, "tab02_fusion_sweep")
+        .expect("write results");
+}

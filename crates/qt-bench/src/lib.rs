@@ -1,0 +1,68 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper (see DESIGN.md for the experiment index).
+//!
+//! Each binary:
+//!
+//! 1. parses [`Opts`] (`--quick` shrinks datasets/steps for CI),
+//! 2. pre-trains the required simulation-scale models deterministically,
+//! 3. evaluates the paper's sweep,
+//! 4. prints an aligned text [`Table`] and writes `results/<name>.json`.
+
+#![warn(missing_docs)]
+
+pub mod prep;
+pub mod table;
+
+pub use prep::*;
+pub use table::Table;
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Reduced dataset/steps for smoke runs (`--quick`).
+    pub quick: bool,
+    /// Output directory for JSON results (`--out DIR`, default `results`).
+    pub out_dir: std::path::PathBuf,
+    /// Master seed (`--seed N`, default 42).
+    pub seed: u64,
+}
+
+impl Opts {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut quick = false;
+        let mut out_dir = std::path::PathBuf::from("results");
+        let mut seed = 42u64;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--out" => {
+                    if let Some(d) = args.next() {
+                        out_dir = d.into();
+                    }
+                }
+                "--seed" => {
+                    if let Some(s) = args.next() {
+                        seed = s.parse().unwrap_or(42);
+                    }
+                }
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+        }
+        Self {
+            quick,
+            out_dir,
+            seed,
+        }
+    }
+
+    /// `full` normally, `quick` under `--quick`.
+    pub fn pick(&self, full: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Deterministic model preparation: pre-train simulation-scale models the
+//! experiment binaries share.
+//!
+//! All pre-training runs in FP32 with AdamW (the "pretrained checkpoint"
+//! the paper downloads); quantized evaluation/fine-tuning happens after.
+
+use qt_datagen::{AsrTask, ClassifyKind, ClassifyTask, LmTask, SpanTask};
+use qt_quant::QuantScheme;
+use qt_train::{AdamW, Trainer};
+use qt_transformer::{
+    LoraConfig, Model, QuantCtx, TaskHead, TrainMode, TransformerConfig,
+};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Pre-train a span-extraction model (SQuAD analogue) in FP32.
+pub fn pretrain_span(
+    cfg: &TransformerConfig,
+    task: &SpanTask,
+    steps: usize,
+    seed: u64,
+) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = Model::new(cfg.clone(), TaskHead::Span, &mut rng);
+    let mut trainer = Trainer::new(
+        model,
+        QuantCtx::training(QuantScheme::fp32()),
+        TrainMode::Full,
+        AdamW::new(2e-3),
+    );
+    let data = task.dataset(steps * 16, seed ^ 0x51);
+    for chunk in data.chunks(16).take(steps) {
+        let (batch, spans) = task.batch(chunk);
+        trainer.step_span(&batch, &spans);
+    }
+    trainer.model
+}
+
+/// Pre-train a classification model in FP32; returns the model.
+pub fn pretrain_classify(
+    cfg: &TransformerConfig,
+    task: &ClassifyTask,
+    steps: usize,
+    seed: u64,
+) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = Model::new(cfg.clone(), TaskHead::Classify(task.kind.classes()), &mut rng);
+    let mut trainer = Trainer::new(
+        model,
+        QuantCtx::training(QuantScheme::fp32()),
+        TrainMode::Full,
+        AdamW::new(2e-3),
+    );
+    let data = task.dataset(steps * 16, seed ^ 0xC1);
+    for chunk in data.chunks(16).take(steps) {
+        let (batch, labels) = task.batch(chunk);
+        trainer.step_classify(&batch, &labels);
+    }
+    trainer.model
+}
+
+/// Pre-train a causal LM in FP32.
+pub fn pretrain_lm(cfg: &TransformerConfig, task: &LmTask, steps: usize, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = Model::new(cfg.clone(), TaskHead::LmTied, &mut rng);
+    let mut trainer = Trainer::new(
+        model,
+        QuantCtx::training(QuantScheme::fp32()),
+        TrainMode::Full,
+        AdamW::new(2e-3),
+    );
+    let data = task.dataset(steps * 8, seed ^ 0x17);
+    for chunk in data.chunks(8).take(steps) {
+        let (batch, targets) = task.batch(chunk);
+        trainer.step_lm(&batch, &targets);
+    }
+    trainer.model
+}
+
+/// Pre-train an encoder-decoder transcription model in FP32.
+pub fn pretrain_seq2seq(
+    cfg: &TransformerConfig,
+    task: &AsrTask,
+    steps: usize,
+    seed: u64,
+) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = Model::new(cfg.clone(), TaskHead::LmTied, &mut rng);
+    let mut trainer = Trainer::new(
+        model,
+        QuantCtx::training(QuantScheme::fp32()),
+        TrainMode::Full,
+        AdamW::new(2e-3),
+    );
+    let data = task.dataset(steps * 8, seed ^ 0xA5);
+    for chunk in data.chunks(8).take(steps) {
+        let (enc, dec, targets) = task.batch(chunk);
+        trainer.step_seq2seq(&enc, &dec, &targets);
+    }
+    trainer.model
+}
+
+/// Fine-tune a pretrained model with LoRA under a scheme; the head is
+/// re-initialised. Returns the adapted model.
+#[allow(clippy::too_many_arguments)]
+pub fn lora_finetune_classify(
+    pretrained: &Model,
+    task: &ClassifyTask,
+    scheme: QuantScheme,
+    lora: LoraConfig,
+    steps: usize,
+    lr: f32,
+    seed: u64,
+) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = pretrained.clone();
+    model.add_lora(lora, &mut rng);
+    let mut trainer = Trainer::new(
+        model,
+        QuantCtx::training(scheme),
+        TrainMode::Lora,
+        AdamW::new(lr),
+    );
+    let data = task.dataset(steps * 16, seed ^ 0x10);
+    for chunk in data.chunks(16).take(steps) {
+        let (batch, labels) = task.batch(chunk);
+        trainer.step_classify(&batch, &labels);
+    }
+    trainer.model
+}
+
+/// Fine-tune a pretrained span model with LoRA under a scheme.
+pub fn lora_finetune_span(
+    pretrained: &Model,
+    task: &SpanTask,
+    scheme: QuantScheme,
+    lora: LoraConfig,
+    steps: usize,
+    lr: f32,
+    seed: u64,
+) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = pretrained.clone();
+    model.add_lora(lora, &mut rng);
+    let mut trainer = Trainer::new(
+        model,
+        QuantCtx::training(scheme),
+        TrainMode::Lora,
+        AdamW::new(lr),
+    );
+    let data = task.dataset(steps * 16, seed ^ 0x11);
+    for chunk in data.chunks(16).take(steps) {
+        let (batch, spans) = task.batch(chunk);
+        trainer.step_span(&batch, &spans);
+    }
+    trainer.model
+}
+
+/// Default span task for a model config (sequence 24, its vocab).
+pub fn span_task_for(cfg: &TransformerConfig) -> SpanTask {
+    SpanTask::new(cfg.vocab, 24)
+}
+
+/// Default classification task for a model config.
+pub fn classify_task_for(cfg: &TransformerConfig, kind: ClassifyKind) -> ClassifyTask {
+    ClassifyTask::new(kind, cfg.vocab, 24)
+}

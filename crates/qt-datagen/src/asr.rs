@@ -1,0 +1,183 @@
+//! Synthetic speech-recognition task (LibriSpeech stand-in, Table 5).
+//!
+//! "Audio" is simulated as a frame sequence in which each target token is
+//! emitted 1–3 times (duration variability) with occasional noise frames —
+//! the same many-to-one alignment structure an ASR encoder-decoder has to
+//! learn. The decoder transcribes autoregressively and is scored by word
+//! error rate (WER).
+
+use crate::tokens::*;
+use qt_transformer::TokenBatch;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One utterance: noisy frames in, clean transcript out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsrExample {
+    /// Encoder frame tokens (padded).
+    pub frames: Vec<usize>,
+    /// Frame validity mask.
+    pub frames_valid: Vec<bool>,
+    /// Clean transcript (no BOS/EOS).
+    pub transcript: Vec<usize>,
+}
+
+/// Generator of synthetic ASR examples.
+#[derive(Debug, Clone)]
+pub struct AsrTask {
+    /// Vocabulary size (shared encoder/decoder).
+    pub vocab: usize,
+    /// Padded encoder length.
+    pub frame_len: usize,
+    /// Maximum transcript length (decoder length = this + 2 for BOS/EOS).
+    pub max_words: usize,
+    /// Probability of a noise frame between emissions.
+    pub noise_prob: f64,
+}
+
+impl AsrTask {
+    /// Default task.
+    pub fn new(vocab: usize, frame_len: usize, max_words: usize) -> Self {
+        Self {
+            vocab,
+            frame_len,
+            max_words,
+            noise_prob: 0.1,
+        }
+    }
+
+    /// Decoder sequence length (`max_words + BOS + EOS`).
+    pub fn dec_len(&self) -> usize {
+        self.max_words + 2
+    }
+
+    const NOISE: usize = FIRST_CONTENT; // a single dedicated noise token
+
+    /// Words are drawn from this range.
+    fn word_range(&self) -> (usize, usize) {
+        (FIRST_CONTENT + 1, self.vocab)
+    }
+
+    /// Sample one utterance.
+    pub fn sample(&self, rng: &mut StdRng) -> AsrExample {
+        let (w_lo, w_hi) = self.word_range();
+        let n_words = rng.gen_range(2..=self.max_words);
+        let transcript: Vec<usize> = (0..n_words).map(|_| rng.gen_range(w_lo..w_hi)).collect();
+        let mut frames = Vec::with_capacity(self.frame_len);
+        for &w in &transcript {
+            let repeats = rng.gen_range(1..=3);
+            for _ in 0..repeats {
+                if frames.len() < self.frame_len {
+                    frames.push(w);
+                }
+            }
+            if rng.gen_bool(self.noise_prob) && frames.len() < self.frame_len {
+                frames.push(Self::NOISE);
+            }
+        }
+        let used = frames.len().min(self.frame_len);
+        frames.resize(self.frame_len, PAD);
+        let mut frames_valid = vec![true; used];
+        frames_valid.resize(self.frame_len, false);
+        AsrExample {
+            frames,
+            frames_valid,
+            transcript,
+        }
+    }
+
+    /// Deterministic dataset.
+    pub fn dataset(&self, n: usize, seed: u64) -> Vec<AsrExample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| self.sample(&mut rng)).collect()
+    }
+
+    /// Pack into `(encoder_batch, decoder_batch, targets)` for teacher-
+    /// forced training: the decoder sees `[BOS, w_1 … w_n, PAD…]` and the
+    /// targets are `[w_1 … w_n, EOS, ignore…]`.
+    pub fn batch(&self, examples: &[AsrExample]) -> (TokenBatch, TokenBatch, Vec<usize>) {
+        let b = examples.len();
+        let dl = self.dec_len();
+        let mut enc_ids = Vec::with_capacity(b * self.frame_len);
+        let mut enc_valid = Vec::with_capacity(b * self.frame_len);
+        let mut dec_ids = Vec::with_capacity(b * dl);
+        let mut dec_valid = Vec::with_capacity(b * dl);
+        let mut targets = Vec::with_capacity(b * dl);
+        for ex in examples {
+            enc_ids.extend_from_slice(&ex.frames);
+            enc_valid.extend_from_slice(&ex.frames_valid);
+            let n = ex.transcript.len();
+            dec_ids.push(BOS);
+            dec_ids.extend_from_slice(&ex.transcript);
+            dec_ids.resize(dec_ids.len() + (dl - 1 - n), PAD);
+            let mut dv = vec![true; 1 + n];
+            dv.resize(dl, false);
+            dec_valid.extend_from_slice(&dv);
+            targets.extend_from_slice(&ex.transcript);
+            targets.push(EOS);
+            targets.extend(std::iter::repeat_n(usize::MAX, dl - 1 - n));
+        }
+        (
+            TokenBatch::with_mask(enc_ids, b, self.frame_len, enc_valid),
+            TokenBatch::with_mask(dec_ids, b, dl, dec_valid),
+            targets,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_cover_transcript_in_order() {
+        let task = AsrTask::new(64, 32, 6);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let ex = task.sample(&mut rng);
+            // de-duplicated, noise-free frame sequence == transcript prefix
+            let mut dedup = Vec::new();
+            for (&f, &v) in ex.frames.iter().zip(&ex.frames_valid) {
+                if !v || f == AsrTask::NOISE {
+                    continue;
+                }
+                if dedup.last() != Some(&f) {
+                    dedup.push(f);
+                }
+            }
+            // repeats of the same word merge, so compare against the
+            // transcript with adjacent duplicates merged too
+            let mut merged = Vec::new();
+            for &w in &ex.transcript {
+                if merged.last() != Some(&w) {
+                    merged.push(w);
+                }
+            }
+            let k = dedup.len();
+            assert_eq!(&dedup[..], &merged[..k.min(merged.len())]);
+        }
+    }
+
+    #[test]
+    fn batch_layout() {
+        let task = AsrTask::new(64, 24, 5);
+        let data = task.dataset(3, 1);
+        let (enc, dec, targets) = task.batch(&data);
+        assert_eq!(enc.batch, 3);
+        assert_eq!(dec.seq, task.dec_len());
+        assert_eq!(targets.len(), 3 * task.dec_len());
+        // first decoder token is BOS, first target is first word
+        assert_eq!(dec.ids[0], BOS);
+        assert_eq!(targets[0], data[0].transcript[0]);
+        // EOS target after the last word
+        let n = data[0].transcript.len();
+        assert_eq!(targets[n], EOS);
+        assert_eq!(targets[task.dec_len() - 1], usize::MAX);
+    }
+
+    #[test]
+    fn deterministic() {
+        let task = AsrTask::new(64, 24, 5);
+        assert_eq!(task.dataset(5, 9), task.dataset(5, 9));
+    }
+}

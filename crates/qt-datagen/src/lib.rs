@@ -1,0 +1,45 @@
+//! Synthetic task generators standing in for the paper's datasets.
+//!
+//! The reproduction cannot ship SQuAD/GLUE/LibriSpeech/WikiText, so each
+//! evaluation exercises the *same code path and metric* on a synthetic
+//! distribution (see DESIGN.md for the substitution argument):
+//!
+//! - [`SpanTask`] — SQuAD-style extractive QA, scored by token-overlap F1;
+//! - [`ClassifyTask`] — a four-task GLUE-style suite (`sst2`-, `qnli`-,
+//!   `mrpc`-, `mnli`-like), scored by accuracy;
+//! - [`AsrTask`] — sequence-to-sequence transcription of noisy repeated
+//!   frames, scored by word error rate;
+//! - [`LmTask`] — a structured order-1 Markov language, scored by
+//!   perplexity.
+//!
+//! All generators are deterministic given a seed and emit padded
+//! variable-length batches, so attention masking is load-bearing (which
+//! the approximate-softmax experiments require).
+
+#![warn(missing_docs)]
+
+mod asr;
+mod classify;
+mod lm;
+mod span;
+
+pub use asr::{AsrExample, AsrTask};
+pub use classify::{ClassifyKind, ClassifyTask};
+pub use lm::LmTask;
+pub use span::{SpanExample, SpanTask};
+
+/// Reserved token ids shared by all tasks.
+pub mod tokens {
+    /// Padding.
+    pub const PAD: usize = 0;
+    /// Sequence-start / classification token.
+    pub const CLS: usize = 1;
+    /// Separator.
+    pub const SEP: usize = 2;
+    /// Decoder start-of-sequence.
+    pub const BOS: usize = 3;
+    /// End-of-sequence.
+    pub const EOS: usize = 4;
+    /// First free content token.
+    pub const FIRST_CONTENT: usize = 5;
+}

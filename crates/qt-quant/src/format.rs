@@ -1,0 +1,245 @@
+//! The element formats evaluated by the paper.
+
+use qt_posit::{Posit, UnderflowPolicy, P16E1, P8E0, P8E1, P8E2};
+use qt_softfloat::{Bf16, E4M3, E5M2, E5M3};
+
+/// A storage/compute element format.
+///
+/// Covers every format the paper evaluates: the BF16 baseline, the three
+/// 8-bit posits, the two OCP FP8 formats, the hybrid E5M3 MAC format, and
+/// `Fp32` (the unquantized carrier) for completeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemFormat {
+    /// 32-bit IEEE float: no quantization (identity grid).
+    Fp32,
+    /// BFloat16 — the paper's high-precision baseline.
+    Bf16,
+    /// Posit(8, 0): range `2^±6`, most fraction bits near 1.
+    P8E0,
+    /// Posit(8, 1): the paper's primary "Posit8", range `2^±12`.
+    P8E1,
+    /// Posit(8, 2): range `2^±24`, for large models (§4.3).
+    P8E2,
+    /// Posit(16, 1): 16-bit posit for the hardware comparisons.
+    P16E1,
+    /// FP8 E4M3 (forward-pass FP8 format).
+    E4M3,
+    /// FP8 E5M2 (backward-pass FP8 format).
+    E5M2,
+    /// Hybrid E5M3 (superset MAC format of §7.1).
+    E5M3,
+}
+
+impl ElemFormat {
+    /// All formats, in a stable display order.
+    pub const ALL: [ElemFormat; 9] = [
+        ElemFormat::Fp32,
+        ElemFormat::Bf16,
+        ElemFormat::P8E0,
+        ElemFormat::P8E1,
+        ElemFormat::P8E2,
+        ElemFormat::P16E1,
+        ElemFormat::E4M3,
+        ElemFormat::E5M2,
+        ElemFormat::E5M3,
+    ];
+
+    /// Short name, e.g. `"Posit(8,1)"` or `"E4M3"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ElemFormat::Fp32 => "FP32",
+            ElemFormat::Bf16 => "BF16",
+            ElemFormat::P8E0 => "Posit(8,0)",
+            ElemFormat::P8E1 => "Posit(8,1)",
+            ElemFormat::P8E2 => "Posit(8,2)",
+            ElemFormat::P16E1 => "Posit(16,1)",
+            ElemFormat::E4M3 => "E4M3",
+            ElemFormat::E5M2 => "E5M2",
+            ElemFormat::E5M3 => "E5M3",
+        }
+    }
+
+    /// Storage width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            ElemFormat::Fp32 => 32,
+            ElemFormat::Bf16 => 16,
+            ElemFormat::P16E1 => 16,
+            ElemFormat::E5M3 => 9,
+            _ => 8,
+        }
+    }
+
+    /// `true` for posit formats (they need encode/decode hardware).
+    pub fn is_posit(self) -> bool {
+        matches!(
+            self,
+            ElemFormat::P8E0 | ElemFormat::P8E1 | ElemFormat::P8E2 | ElemFormat::P16E1
+        )
+    }
+
+    /// Largest representable finite magnitude.
+    pub fn max_value(self) -> f64 {
+        match self {
+            ElemFormat::Fp32 => f32::MAX as f64,
+            ElemFormat::Bf16 => Bf16::MAX.to_f64(),
+            ElemFormat::P8E0 => P8E0::maxpos(),
+            ElemFormat::P8E1 => P8E1::maxpos(),
+            ElemFormat::P8E2 => P8E2::maxpos(),
+            ElemFormat::P16E1 => P16E1::maxpos(),
+            ElemFormat::E4M3 => qt_softfloat::E4M3::max().to_f64(),
+            ElemFormat::E5M2 => qt_softfloat::E5M2::max().to_f64(),
+            ElemFormat::E5M3 => qt_softfloat::E5M3::max().to_f64(),
+        }
+    }
+
+    /// Smallest positive representable magnitude (subnormal / minpos).
+    pub fn min_positive(self) -> f64 {
+        match self {
+            ElemFormat::Fp32 => f32::MIN_POSITIVE as f64,
+            ElemFormat::Bf16 => Bf16::MIN_POSITIVE.to_f64(),
+            ElemFormat::P8E0 => P8E0::minpos(),
+            ElemFormat::P8E1 => P8E1::minpos(),
+            ElemFormat::P8E2 => P8E2::minpos(),
+            ElemFormat::P16E1 => P16E1::minpos(),
+            ElemFormat::E4M3 => E4M3::min_positive().to_f64(),
+            ElemFormat::E5M2 => E5M2::min_positive().to_f64(),
+            ElemFormat::E5M3 => E5M3::min_positive().to_f64(),
+        }
+    }
+
+    /// Binade range `[lo, hi]` such that magnitudes in `2^lo ..= 2^hi` are
+    /// representable with non-zero precision (used for coverage plots,
+    /// Figures 6 and 10).
+    pub fn exp_range(self) -> (i32, i32) {
+        let lo = libm::floor(libm::log2(self.min_positive())) as i32;
+        let hi = libm::floor(libm::log2(self.max_value())) as i32;
+        (lo, hi)
+    }
+
+    /// The amax the paper scales tensors toward for this format (§5.1):
+    /// FP8 scales to the format maximum; Posit8 scales to **64**, because
+    /// posit values near maxpos have no fraction bits.
+    pub fn amax_target(self) -> f64 {
+        match self {
+            ElemFormat::P8E0 => 8.0,
+            ElemFormat::P8E1 | ElemFormat::P8E2 | ElemFormat::P16E1 => 64.0,
+            other => other.max_value(),
+        }
+    }
+
+    /// Round one value to the nearest representable value (saturating),
+    /// under the given posit underflow policy (ignored by float formats).
+    pub fn quantize_scalar_with(self, x: f32, policy: UnderflowPolicy) -> f32 {
+        let xd = x as f64;
+        let q = match self {
+            ElemFormat::Fp32 => return x,
+            ElemFormat::Bf16 => return Bf16::quantize(x),
+            ElemFormat::P8E0 => Posit::<8, 0>::quantize_with(xd, policy),
+            ElemFormat::P8E1 => Posit::<8, 1>::quantize_with(xd, policy),
+            ElemFormat::P8E2 => Posit::<8, 2>::quantize_with(xd, policy),
+            ElemFormat::P16E1 => Posit::<16, 1>::quantize_with(xd, policy),
+            ElemFormat::E4M3 => E4M3::quantize(xd),
+            ElemFormat::E5M2 => E5M2::quantize(xd),
+            ElemFormat::E5M3 => E5M3::quantize(xd),
+        };
+        q as f32
+    }
+
+    /// Round one value under the paper's default underflow policy.
+    pub fn quantize_scalar(self, x: f32) -> f32 {
+        self.quantize_scalar_with(x, UnderflowPolicy::RoundTiesToZero)
+    }
+
+    /// Every finite representable value, sorted ascending (empty for
+    /// `Fp32`/`Bf16`, which are treated as continuous carriers).
+    pub fn finite_values(self) -> Vec<f32> {
+        let raw: Vec<f32> = match self {
+            ElemFormat::Fp32 | ElemFormat::Bf16 => return Vec::new(),
+            ElemFormat::P8E0 => Posit::<8, 0>::all_finite().map(|p| p.to_f32()).collect(),
+            ElemFormat::P8E1 => Posit::<8, 1>::all_finite().map(|p| p.to_f32()).collect(),
+            ElemFormat::P8E2 => Posit::<8, 2>::all_finite().map(|p| p.to_f32()).collect(),
+            ElemFormat::P16E1 => Posit::<16, 1>::all_finite().map(|p| p.to_f32()).collect(),
+            ElemFormat::E4M3 => (0u16..256).map(|b| E4M3::from_bits(b).to_f32()).collect(),
+            ElemFormat::E5M2 => (0u16..256).map(|b| E5M2::from_bits(b).to_f32()).collect(),
+            ElemFormat::E5M3 => (0u16..512).map(|b| E5M3::from_bits(b).to_f32()).collect(),
+        };
+        let mut v: Vec<f32> = raw.into_iter().filter(|x| x.is_finite()).collect();
+        v.sort_by(f32::total_cmp);
+        v.dedup();
+        v
+    }
+
+    /// Parse a name as printed by [`ElemFormat::name`] (case-insensitive;
+    /// also accepts `posit8`, `fp8`, `bf16` style shorthands).
+    pub fn parse(s: &str) -> Option<Self> {
+        let t = s.to_ascii_lowercase();
+        Some(match t.as_str() {
+            "fp32" | "f32" => ElemFormat::Fp32,
+            "bf16" | "bfloat16" => ElemFormat::Bf16,
+            "posit(8,0)" | "p8e0" => ElemFormat::P8E0,
+            "posit(8,1)" | "p8e1" | "posit8" => ElemFormat::P8E1,
+            "posit(8,2)" | "p8e2" => ElemFormat::P8E2,
+            "posit(16,1)" | "p16e1" | "posit16" => ElemFormat::P16E1,
+            "e4m3" => ElemFormat::E4M3,
+            "e5m2" => ElemFormat::E5M2,
+            "e5m3" | "fp8-hybrid" => ElemFormat::E5M3,
+            _ => return None,
+        })
+    }
+}
+
+impl core::fmt::Display for ElemFormat {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        for f in ElemFormat::ALL {
+            assert_eq!(ElemFormat::parse(f.name()), Some(f));
+        }
+        assert_eq!(ElemFormat::parse("posit8"), Some(ElemFormat::P8E1));
+        assert_eq!(ElemFormat::parse("nope"), None);
+    }
+
+    #[test]
+    fn ranges_match_paper() {
+        assert_eq!(ElemFormat::P8E1.exp_range(), (-12, 12));
+        assert_eq!(ElemFormat::P8E0.exp_range(), (-6, 6));
+        assert_eq!(ElemFormat::P8E2.exp_range(), (-24, 24));
+        assert_eq!(ElemFormat::E4M3.max_value(), 448.0);
+        assert_eq!(ElemFormat::E5M2.max_value(), 57344.0);
+    }
+
+    #[test]
+    fn amax_targets_section_5_1() {
+        assert_eq!(ElemFormat::P8E1.amax_target(), 64.0);
+        assert_eq!(ElemFormat::E5M2.amax_target(), 57344.0);
+        assert_eq!(ElemFormat::E4M3.amax_target(), 448.0);
+    }
+
+    #[test]
+    fn finite_value_counts() {
+        // 255 posit values (all codes minus NaR).
+        assert_eq!(ElemFormat::P8E1.finite_values().len(), 255);
+        // E4M3: 256 codes − 2 NaN = 254, minus one duplicate (±0 both map
+        // to 0.0) = 253.
+        assert_eq!(ElemFormat::E4M3.finite_values().len(), 253);
+        // E5M2: 256 − 2 inf − 6 NaN = 248 → 247 after ±0 dedup.
+        assert_eq!(ElemFormat::E5M2.finite_values().len(), 247);
+    }
+
+    #[test]
+    fn quantize_scalar_basics() {
+        assert_eq!(ElemFormat::Fp32.quantize_scalar(0.1234), 0.1234);
+        assert_eq!(ElemFormat::P8E1.quantize_scalar(1e9), 4096.0);
+        assert_eq!(ElemFormat::E4M3.quantize_scalar(1e9), 448.0);
+        assert_eq!(ElemFormat::Bf16.quantize_scalar(1.0 + 1e-4), 1.0);
+    }
+}

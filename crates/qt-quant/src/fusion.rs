@@ -1,0 +1,246 @@
+//! Operation classes and the paper's incremental fusion schemes (§4).
+//!
+//! "Fusing" an element-wise operation with the preceding GEMM means its
+//! input is consumed directly from the high-precision GEMM output instead
+//! of being re-quantized to 8 bits first. The paper applies fusion
+//! *incrementally*, in the order of each operation's measured accuracy
+//! impact (Table 1): attention scaling first, then activation functions,
+//! then layer normalisation, then residual additions.
+
+/// The classes of Transformer operations whose inputs may be quantized
+/// (Figure 5 / Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Matrix multiplications: always quantized in an 8-bit scheme (both
+    /// operands), since they run on the 8-bit systolic array.
+    Gemm,
+    /// The `1/sqrt(d)` scaling of raw attention scores (the paper's most
+    /// quantization-sensitive input: unscaled `QKᵀ` logits are wide).
+    AttnScaling,
+    /// Non-linear activations: softmax and GELU inputs.
+    Activation,
+    /// Layer-normalisation inputs.
+    LayerNorm,
+    /// Residual-addition inputs.
+    Residual,
+}
+
+impl OpClass {
+    /// All non-GEMM classes in the paper's fusion order.
+    pub const FUSION_ORDER: [OpClass; 4] = [
+        OpClass::AttnScaling,
+        OpClass::Activation,
+        OpClass::LayerNorm,
+        OpClass::Residual,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Gemm => "GEMM",
+            OpClass::AttnScaling => "Attn Scaling",
+            OpClass::Activation => "Activation",
+            OpClass::LayerNorm => "LayerNorm",
+            OpClass::Residual => "Residual",
+        }
+    }
+}
+
+impl core::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cumulative fusion level: the columns of Tables 2, 5 and 6.
+///
+/// Each level fuses its own class *and* everything before it in
+/// [`OpClass::FUSION_ORDER`]:
+///
+/// ```
+/// use qt_quant::{FusionLevel, OpClass};
+/// assert!(!FusionLevel::None.fuses(OpClass::AttnScaling));
+/// assert!(FusionLevel::Activation.fuses(OpClass::AttnScaling));
+/// assert!(FusionLevel::Residual.fuses(OpClass::LayerNorm)); // fuse-all
+/// assert!(!FusionLevel::Residual.fuses(OpClass::Gemm));     // GEMMs stay 8-bit
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum FusionLevel {
+    /// No fusion: every operation input is quantized.
+    #[default]
+    None,
+    /// Fuse GEMM + attention scaling.
+    AttnScaling,
+    /// … + activation functions.
+    Activation,
+    /// … + layer normalisation.
+    LayerNorm,
+    /// … + residual additions (fuse all).
+    Residual,
+}
+
+impl FusionLevel {
+    /// All levels in table-column order.
+    pub const ALL: [FusionLevel; 5] = [
+        FusionLevel::None,
+        FusionLevel::AttnScaling,
+        FusionLevel::Activation,
+        FusionLevel::LayerNorm,
+        FusionLevel::Residual,
+    ];
+
+    /// Does this level fuse (skip re-quantization of) inputs to `op`?
+    /// GEMM inputs are never fused — they are what the 8-bit MACs consume.
+    pub fn fuses(self, op: OpClass) -> bool {
+        let op_rank = match op {
+            OpClass::Gemm => return false,
+            OpClass::AttnScaling => 1,
+            OpClass::Activation => 2,
+            OpClass::LayerNorm => 3,
+            OpClass::Residual => 4,
+        };
+        self.rank() >= op_rank
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            FusionLevel::None => 0,
+            FusionLevel::AttnScaling => 1,
+            FusionLevel::Activation => 2,
+            FusionLevel::LayerNorm => 3,
+            FusionLevel::Residual => 4,
+        }
+    }
+
+    /// Column label as printed in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FusionLevel::None => "No Fusion",
+            FusionLevel::AttnScaling => "Fuse GEMM + Attn Scaling",
+            FusionLevel::Activation => "+ Activation Fusion",
+            FusionLevel::LayerNorm => "+ LayerNorm Fusion",
+            FusionLevel::Residual => "+ Residual Fusion",
+        }
+    }
+}
+
+impl core::fmt::Display for FusionLevel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An explicit set of operation classes whose inputs are quantized —
+/// the ablation axis of Table 1 ("GEMM + Residual", "GEMM + Attn Scaling",
+/// …), which cumulative [`FusionLevel`]s cannot express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpSet {
+    /// Quantize GEMM inputs.
+    pub gemm: bool,
+    /// Quantize attention-scaling inputs.
+    pub attn_scaling: bool,
+    /// Quantize activation-function inputs.
+    pub activation: bool,
+    /// Quantize layer-norm inputs.
+    pub layernorm: bool,
+    /// Quantize residual-addition inputs.
+    pub residual: bool,
+}
+
+impl OpSet {
+    /// Quantize nothing.
+    pub const NONE: OpSet = OpSet {
+        gemm: false,
+        attn_scaling: false,
+        activation: false,
+        layernorm: false,
+        residual: false,
+    };
+
+    /// Quantize GEMMs only (Table 1's first quantized row).
+    pub const GEMM_ONLY: OpSet = OpSet {
+        gemm: true,
+        ..OpSet::NONE
+    };
+
+    /// GEMM plus exactly one other class (the Table 1 ablation rows).
+    pub fn gemm_plus(op: OpClass) -> OpSet {
+        let mut s = OpSet::GEMM_ONLY;
+        match op {
+            OpClass::Gemm => {}
+            OpClass::AttnScaling => s.attn_scaling = true,
+            OpClass::Activation => s.activation = true,
+            OpClass::LayerNorm => s.layernorm = true,
+            OpClass::Residual => s.residual = true,
+        }
+        s
+    }
+
+    /// The set corresponding to a cumulative fusion level (everything not
+    /// fused is quantized).
+    pub fn from_fusion(level: FusionLevel) -> OpSet {
+        OpSet {
+            gemm: true,
+            attn_scaling: !level.fuses(OpClass::AttnScaling),
+            activation: !level.fuses(OpClass::Activation),
+            layernorm: !level.fuses(OpClass::LayerNorm),
+            residual: !level.fuses(OpClass::Residual),
+        }
+    }
+
+    /// Is `op`'s input quantized under this set?
+    pub fn contains(self, op: OpClass) -> bool {
+        match op {
+            OpClass::Gemm => self.gemm,
+            OpClass::AttnScaling => self.attn_scaling,
+            OpClass::Activation => self.activation,
+            OpClass::LayerNorm => self.layernorm,
+            OpClass::Residual => self.residual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opset_from_fusion_is_consistent() {
+        for lvl in FusionLevel::ALL {
+            let set = OpSet::from_fusion(lvl);
+            assert!(set.contains(OpClass::Gemm));
+            for op in OpClass::FUSION_ORDER {
+                assert_eq!(set.contains(op), !lvl.fuses(op), "{lvl:?} {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn opset_gemm_plus() {
+        let s = OpSet::gemm_plus(OpClass::LayerNorm);
+        assert!(s.gemm && s.layernorm);
+        assert!(!s.attn_scaling && !s.activation && !s.residual);
+    }
+
+    #[test]
+    fn levels_are_cumulative() {
+        for (i, lvl) in FusionLevel::ALL.iter().enumerate() {
+            for (j, op) in OpClass::FUSION_ORDER.iter().enumerate() {
+                assert_eq!(lvl.fuses(*op), i >= j + 1, "{lvl:?} vs {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_never_fused() {
+        for lvl in FusionLevel::ALL {
+            assert!(!lvl.fuses(OpClass::Gemm));
+        }
+    }
+
+    #[test]
+    fn ordering_matches_table_columns() {
+        assert!(FusionLevel::None < FusionLevel::AttnScaling);
+        assert!(FusionLevel::LayerNorm < FusionLevel::Residual);
+    }
+}

@@ -1,0 +1,251 @@
+//! Fast tensor fake-quantization, plus the straight-through-estimator
+//! autograd op used during quantized training.
+
+use crate::format::ElemFormat;
+use qt_autograd::{Tape, Var};
+use qt_posit::UnderflowPolicy;
+use qt_tensor::Tensor;
+
+/// A fake-quantizer: rounds values onto a format's representable grid.
+///
+/// For the 8-/9-bit formats the quantizer pre-computes the sorted value
+/// table and the decision boundaries between adjacent values (including
+/// tie direction), so per-element quantization is a binary search instead
+/// of a full encode — the same trick a hardware LUT-based converter uses.
+/// Results are bit-identical to [`ElemFormat::quantize_scalar_with`].
+///
+/// # Example
+///
+/// ```
+/// use qt_quant::{ElemFormat, FakeQuant};
+/// use qt_tensor::Tensor;
+///
+/// let q = FakeQuant::new(ElemFormat::E4M3);
+/// let t = Tensor::from_vec(vec![0.3, 500.0, -1e-9], &[3]);
+/// let r = q.quantize(&t);
+/// assert_eq!(r.data()[1], 448.0); // saturated
+/// assert_eq!(r.data()[2], 0.0);   // flushed
+/// ```
+#[derive(Debug, Clone)]
+pub struct FakeQuant {
+    format: ElemFormat,
+    policy: UnderflowPolicy,
+    /// Sorted representable values (empty → identity/wide format).
+    values: Vec<f32>,
+    /// `bounds[i]` is the threshold between `values[i]` and `values[i+1]`:
+    /// inputs strictly below it map to index ≤ i, above to ≥ i+1; inputs
+    /// equal to it map according to `tie_up[i]`.
+    bounds: Vec<f32>,
+    tie_up: Vec<bool>,
+}
+
+impl FakeQuant {
+    /// Quantizer with the paper's default posit underflow policy.
+    pub fn new(format: ElemFormat) -> Self {
+        Self::with_policy(format, UnderflowPolicy::RoundTiesToZero)
+    }
+
+    /// Quantizer with an explicit posit underflow policy (no effect on
+    /// float formats).
+    pub fn with_policy(format: ElemFormat, policy: UnderflowPolicy) -> Self {
+        let values = format.finite_values();
+        let mut bounds = Vec::new();
+        let mut tie_up = Vec::new();
+        for w in values.windows(2) {
+            let mid = 0.5 * (w[0] as f64 + w[1] as f64);
+            bounds.push(mid as f32);
+            // Resolve the tie exactly like the scalar path.
+            let q = format.quantize_scalar_with(mid as f32, policy);
+            tie_up.push(q == w[1]);
+        }
+        Self {
+            format,
+            policy,
+            values,
+            bounds,
+            tie_up,
+        }
+    }
+
+    /// The quantizer's format.
+    pub fn format(&self) -> ElemFormat {
+        self.format
+    }
+
+    /// The underflow policy in effect.
+    pub fn policy(&self) -> UnderflowPolicy {
+        self.policy
+    }
+
+    /// Quantize a single value.
+    #[inline]
+    pub fn quantize_scalar(&self, x: f32) -> f32 {
+        if self.values.is_empty() {
+            // Fp32 (identity) or Bf16 (cheap direct rounding).
+            return self.format.quantize_scalar_with(x, self.policy);
+        }
+        if x.is_nan() {
+            return f32::NAN;
+        }
+        let n = self.values.len();
+        // Binary search over decision boundaries: `b < x` puts an input
+        // exactly on a boundary below it, so ties land on the lower value;
+        // bump when the pre-computed tie direction says otherwise.
+        let mut i = self.bounds.partition_point(|&b| b < x).min(n - 1);
+        if i < self.bounds.len() && x == self.bounds[i] && self.tie_up[i] {
+            i += 1;
+        }
+        let v = self.values[i.min(n - 1)];
+        // Standard posit policy: a non-zero input never rounds to zero.
+        if v == 0.0
+            && x != 0.0
+            && self.format.is_posit()
+            && self.policy == UnderflowPolicy::Standard
+        {
+            let minpos = self.format.min_positive() as f32;
+            return if x > 0.0 { minpos } else { -minpos };
+        }
+        v
+    }
+
+    /// Quantize every element of a tensor.
+    pub fn quantize(&self, t: &Tensor) -> Tensor {
+        if matches!(self.format, ElemFormat::Fp32) {
+            return t.clone();
+        }
+        t.map(|x| self.quantize_scalar(x))
+    }
+
+    /// Quantize with a scale factor: `Q(x * scale) / scale` — the
+    /// per-tensor-scaled quantization of §5.1. `scale == 1.0` is plain
+    /// quantization.
+    pub fn quantize_scaled(&self, t: &Tensor, scale: f32) -> Tensor {
+        if matches!(self.format, ElemFormat::Fp32) {
+            return t.clone();
+        }
+        let inv = 1.0 / scale;
+        t.map(|x| self.quantize_scalar(x * scale) * inv)
+    }
+
+    /// Record a quantization on the tape with a straight-through estimator
+    /// backward pass: the gradient flows through unchanged, but is zeroed
+    /// where the input saturated (clipped STE), matching quantization-aware
+    /// training practice.
+    pub fn quantize_var(&self, tape: &mut Tape, x: Var) -> Var {
+        self.quantize_var_scaled(tape, x, 1.0)
+    }
+
+    /// Scaled quantization on the tape (`Q(x·s)/s`) with clipped-STE
+    /// backward.
+    pub fn quantize_var_scaled(&self, tape: &mut Tape, x: Var, scale: f32) -> Var {
+        if matches!(self.format, ElemFormat::Fp32) {
+            return x;
+        }
+        let v = self.quantize_scaled(tape.value(x), scale);
+        let max = (self.format.max_value() / scale as f64) as f32;
+        tape.custom(
+            vec![x],
+            v,
+            Box::new(move |g, parents, _| {
+                vec![g.zip(&parents[0], |gv, xv| {
+                    if xv.abs() > max {
+                        0.0
+                    } else {
+                        gv
+                    }
+                })]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn lut_matches_scalar_path_exhaustively() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for fmt in [
+            ElemFormat::P8E0,
+            ElemFormat::P8E1,
+            ElemFormat::P8E2,
+            ElemFormat::E4M3,
+            ElemFormat::E5M2,
+            ElemFormat::E5M3,
+        ] {
+            for policy in [UnderflowPolicy::RoundTiesToZero, UnderflowPolicy::Standard] {
+                let q = FakeQuant::with_policy(fmt, policy);
+                // Random magnitudes across the whole dynamic range.
+                for _ in 0..2000 {
+                    let e: f64 = rng.gen_range(-30.0..30.0);
+                    let m: f64 = rng.gen_range(-2.0..2.0);
+                    let x = (m * libm::exp2(e)) as f32;
+                    let a = q.quantize_scalar(x);
+                    let b = fmt.quantize_scalar_with(x, policy);
+                    assert_eq!(a, b, "{fmt:?} {policy:?} x={x}");
+                }
+                // Exact representable values and midpoints.
+                let vals = fmt.finite_values();
+                for w in vals.windows(2) {
+                    for x in [w[0], w[1], 0.5 * (w[0] + w[1])] {
+                        assert_eq!(
+                            q.quantize_scalar(x),
+                            fmt.quantize_scalar_with(x, policy),
+                            "{fmt:?} {policy:?} x={x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_tensor_shapes_preserved() {
+        let q = FakeQuant::new(ElemFormat::P8E1);
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(q.quantize(&t).shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn scaled_quantization_rescues_small_values() {
+        // 1e-5 underflows Posit8 (min 2^-12 ≈ 2.4e-4) but survives with a
+        // scale that maps amax to 64.
+        let q = FakeQuant::new(ElemFormat::P8E1);
+        let t = Tensor::from_vec(vec![1e-5, 2e-5], &[2]);
+        assert_eq!(q.quantize(&t).data(), &[0.0, 0.0]);
+        let scale = 64.0 / 2e-5;
+        let s = q.quantize_scaled(&t, scale);
+        assert!((s.data()[0] - 1e-5).abs() / 1e-5 < 0.05);
+        assert!((s.data()[1] - 2e-5).abs() / 2e-5 < 0.05);
+    }
+
+    #[test]
+    fn ste_backward_passes_and_clips() {
+        let q = FakeQuant::new(ElemFormat::P8E1);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.3, 9999.0, -9999.0], &[3]), true);
+        let y = q.quantize_var(&mut tape, x);
+        assert_eq!(tape.value(y).data()[1], 4096.0);
+        let l = tape.sum_all(y);
+        let g = tape.backward(l);
+        // in-range passes gradient; saturated entries are clipped
+        assert_eq!(g.get(x).unwrap().data(), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn bf16_and_fp32_paths() {
+        let qb = FakeQuant::new(ElemFormat::Bf16);
+        assert_eq!(qb.quantize_scalar(1.0 + 1e-4), 1.0);
+        let qf = FakeQuant::new(ElemFormat::Fp32);
+        let t = Tensor::from_vec(vec![0.12345], &[1]);
+        assert_eq!(qf.quantize(&t).data(), t.data());
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let q = FakeQuant::new(ElemFormat::E4M3);
+        assert!(q.quantize_scalar(f32::NAN).is_nan());
+    }
+}

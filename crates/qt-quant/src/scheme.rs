@@ -1,0 +1,215 @@
+//! [`QuantScheme`]: the complete configuration of a quantized run —
+//! formats, fusion level, underflow policy, softmax implementation and
+//! gradient scaling.
+
+use crate::format::ElemFormat;
+use crate::fusion::{FusionLevel, OpSet};
+use crate::scaling::ScalingMode;
+use qt_posit::approx::ExpApprox;
+use qt_posit::UnderflowPolicy;
+
+/// Which softmax implementation the attention layers use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SoftmaxKind {
+    /// Exact float softmax.
+    Exact,
+    /// The posit softmax of §4.1/§5.2: approximate exponential and/or
+    /// approximate reciprocal, each individually toggleable (Table 4).
+    PositApprox {
+        /// Use the approximate exponential (sigmoid + reciprocal tricks).
+        approx_exp: bool,
+        /// Use the approximate (piecewise-linear) reciprocal for `1/Σe^z`.
+        approx_recip: bool,
+        /// Threshold/shift configuration of the exponential.
+        exp: ExpApprox,
+    },
+}
+
+impl SoftmaxKind {
+    /// The paper's full posit softmax (both approximations on, best θ/ε).
+    pub fn posit_full() -> Self {
+        SoftmaxKind::PositApprox {
+            approx_exp: true,
+            approx_recip: true,
+            exp: ExpApprox::PAPER_BEST,
+        }
+    }
+}
+
+/// Complete configuration of a quantized inference or fine-tuning run.
+///
+/// Use the named constructors for the paper's standard settings and the
+/// `with_*` builders for sweeps:
+///
+/// ```
+/// use qt_quant::{ElemFormat, FusionLevel, QuantScheme};
+///
+/// let s = QuantScheme::posit8().with_fusion(FusionLevel::Residual);
+/// assert_eq!(s.fwd, ElemFormat::P8E1);
+/// let fp8 = QuantScheme::fp8();
+/// assert_eq!(fp8.fwd, ElemFormat::E4M3);
+/// assert_eq!(fp8.bwd, ElemFormat::E5M2); // NVIDIA's hybrid recipe
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantScheme {
+    /// Format for forward-pass tensors (weights and activations).
+    pub fwd: ElemFormat,
+    /// Format for backward-pass tensors (activation gradients).
+    pub bwd: ElemFormat,
+    /// Operation-fusion level (§4).
+    pub fusion: FusionLevel,
+    /// Explicit override of which operation inputs are quantized (Table 1
+    /// ablations); `None` derives the set from `fusion`.
+    pub ops_override: Option<OpSet>,
+    /// Posit underflow policy (§3.4).
+    pub underflow: UnderflowPolicy,
+    /// Softmax implementation.
+    pub softmax: SoftmaxKind,
+    /// Gradient scaling during training (§5.1).
+    pub scaling: ScalingMode,
+}
+
+impl QuantScheme {
+    /// Unquantized FP32 run (sanity baseline).
+    pub fn fp32() -> Self {
+        Self::uniform(ElemFormat::Fp32)
+    }
+
+    /// BFloat16 run — the paper's accuracy baseline.
+    pub fn bf16() -> Self {
+        Self::uniform(ElemFormat::Bf16)
+    }
+
+    /// Posit(8,1) forward and backward, exact softmax.
+    pub fn posit8() -> Self {
+        Self::uniform(ElemFormat::P8E1)
+    }
+
+    /// Posit(8,2) forward and backward.
+    pub fn posit8_es2() -> Self {
+        Self::uniform(ElemFormat::P8E2)
+    }
+
+    /// Posit(8,1) with the approximate posit softmax
+    /// (the paper's "Posit8 Approximation" rows).
+    pub fn posit8_approx() -> Self {
+        Self {
+            softmax: SoftmaxKind::posit_full(),
+            ..Self::uniform(ElemFormat::P8E1)
+        }
+    }
+
+    /// FP8 per NVIDIA's recipe: E4M3 forward, E5M2 backward.
+    pub fn fp8() -> Self {
+        Self {
+            bwd: ElemFormat::E5M2,
+            ..Self::uniform(ElemFormat::E4M3)
+        }
+    }
+
+    /// Same format both directions, exact softmax, no fusion, default
+    /// underflow and per-tensor scaling.
+    pub fn uniform(fmt: ElemFormat) -> Self {
+        Self {
+            fwd: fmt,
+            bwd: fmt,
+            fusion: FusionLevel::None,
+            ops_override: None,
+            underflow: UnderflowPolicy::RoundTiesToZero,
+            softmax: SoftmaxKind::Exact,
+            scaling: ScalingMode::default(),
+        }
+    }
+
+    /// Set the fusion level.
+    pub fn with_fusion(mut self, fusion: FusionLevel) -> Self {
+        self.fusion = fusion;
+        self.ops_override = None;
+        self
+    }
+
+    /// Quantize exactly the given operation classes (overrides `fusion`).
+    pub fn with_ops(mut self, ops: OpSet) -> Self {
+        self.ops_override = Some(ops);
+        self
+    }
+
+    /// The effective set of quantized operation inputs.
+    pub fn quantized_ops(&self) -> OpSet {
+        self.ops_override
+            .unwrap_or_else(|| OpSet::from_fusion(self.fusion))
+    }
+
+    /// Set the softmax implementation.
+    pub fn with_softmax(mut self, softmax: SoftmaxKind) -> Self {
+        self.softmax = softmax;
+        self
+    }
+
+    /// Set the gradient-scaling mode.
+    pub fn with_scaling(mut self, scaling: ScalingMode) -> Self {
+        self.scaling = scaling;
+        self
+    }
+
+    /// Set the posit underflow policy.
+    pub fn with_underflow(mut self, underflow: UnderflowPolicy) -> Self {
+        self.underflow = underflow;
+        self
+    }
+
+    /// `true` when nothing is quantized (FP32 both ways, exact softmax).
+    pub fn is_identity(&self) -> bool {
+        matches!(self.fwd, ElemFormat::Fp32)
+            && matches!(self.bwd, ElemFormat::Fp32)
+            && matches!(self.softmax, SoftmaxKind::Exact)
+    }
+
+    /// Short human-readable description, e.g. `"Posit(8,1) fwd / Posit(8,1)
+    /// bwd, + Residual Fusion"`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} fwd / {} bwd, {}",
+            self.fwd.name(),
+            self.bwd.name(),
+            self.fusion.label()
+        )
+    }
+}
+
+impl Default for QuantScheme {
+    fn default() -> Self {
+        Self::bf16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(QuantScheme::fp32().is_identity());
+        assert!(!QuantScheme::bf16().is_identity());
+        let p = QuantScheme::posit8_approx();
+        assert!(matches!(p.softmax, SoftmaxKind::PositApprox { .. }));
+        assert_eq!(QuantScheme::posit8_es2().fwd, ElemFormat::P8E2);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let s = QuantScheme::posit8()
+            .with_fusion(FusionLevel::LayerNorm)
+            .with_scaling(ScalingMode::LossScale(1024.0))
+            .with_underflow(UnderflowPolicy::Standard);
+        assert_eq!(s.fusion, FusionLevel::LayerNorm);
+        assert_eq!(s.scaling, ScalingMode::LossScale(1024.0));
+        assert_eq!(s.underflow, UnderflowPolicy::Standard);
+    }
+
+    #[test]
+    fn describe_mentions_formats() {
+        let d = QuantScheme::fp8().describe();
+        assert!(d.contains("E4M3") && d.contains("E5M2"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Decimal-accuracy analysis (Figure 4 of the paper).
+//!
+//! Gustafson defines the *decimal accuracy* of an approximation `x̂` of a
+//! value `x` as `-log10(|log10(x̂ / x)|)`: roughly, the number of correct
+//! decimal digits. Plotting the decimal accuracy of rounding to a format
+//! across its dynamic range visualises the fixed precision of FP8 vs the
+//! tapered precision of posits.
+
+/// Decimal accuracy of `approx` as an estimate of `exact`.
+///
+/// Returns `f64::INFINITY` when the two are equal and `f64::NEG_INFINITY`
+/// when the approximation is zero/opposite-signed (no correct digits).
+///
+/// ```
+/// use qt_softfloat::decimal_accuracy;
+/// // One part in 10^3 error ≈ 3.36 decimal digits.
+/// let da = decimal_accuracy(1.0, 1.001);
+/// assert!((da - 3.36).abs() < 0.01);
+/// ```
+pub fn decimal_accuracy(exact: f64, approx: f64) -> f64 {
+    if exact == approx {
+        return f64::INFINITY;
+    }
+    if exact == 0.0 || approx == 0.0 || exact.signum() != approx.signum() {
+        return f64::NEG_INFINITY;
+    }
+    let log_ratio = libm::log10(approx / exact).abs();
+    if log_ratio == 0.0 {
+        f64::INFINITY
+    } else {
+        -libm::log10(log_ratio)
+    }
+}
+
+/// Decimal accuracy of a rounding function at input `x`: rounds `x` with
+/// `round` and measures how many decimal digits survive.
+pub fn decimal_accuracy_of_rounding(x: f64, round: impl Fn(f64) -> f64) -> f64 {
+    decimal_accuracy(x, round(x))
+}
+
+/// Sweep decimal accuracy of a rounding function across an exponent range.
+///
+/// Samples `samples_per_octave` log-spaced points in each binade of
+/// `[2^lo_exp, 2^hi_exp)` and returns `(x, min_accuracy_in_neighbourhood)`
+/// pairs; the *minimum* over a small neighbourhood reflects worst-case
+/// accuracy like the paper's Figure 4 staircase plot.
+pub fn accuracy_sweep(
+    round: impl Fn(f64) -> f64,
+    lo_exp: i32,
+    hi_exp: i32,
+    samples_per_octave: usize,
+) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for e in lo_exp..hi_exp {
+        for i in 0..samples_per_octave {
+            let frac = i as f64 / samples_per_octave as f64;
+            let x = libm::exp2(e as f64 + frac);
+            // Worst case over a few sub-samples within the step.
+            let mut worst = f64::INFINITY;
+            for j in 1..8 {
+                let xx = x * (1.0 + j as f64 / (8.0 * samples_per_octave as f64));
+                let da = decimal_accuracy_of_rounding(xx, &round);
+                if da < worst {
+                    worst = da;
+                }
+            }
+            out.push((x, worst));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{E4M3, E5M2};
+
+    #[test]
+    fn exact_is_infinite() {
+        assert_eq!(decimal_accuracy(2.0, 2.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn sign_flip_is_neg_infinite() {
+        assert_eq!(decimal_accuracy(1.0, -1.0), f64::NEG_INFINITY);
+        assert_eq!(decimal_accuracy(1.0, 0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn e4m3_beats_e5m2_near_one() {
+        // E4M3 has one extra fraction bit, so its worst-case decimal
+        // accuracy in the binade [1, 2) is higher than E5M2's.
+        let worst = |round: fn(f64) -> f64| {
+            (1..200)
+                .map(|i| decimal_accuracy_of_rounding(1.0 + i as f64 / 200.0, round))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let da_e4m3 = worst(|x| E4M3::quantize(x));
+        let da_e5m2 = worst(|x| E5M2::quantize(x));
+        assert!(da_e4m3 > da_e5m2, "{da_e4m3} vs {da_e5m2}");
+    }
+
+    #[test]
+    fn sweep_shape() {
+        let pts = accuracy_sweep(|x| E4M3::quantize(x), -6, 6, 4);
+        assert_eq!(pts.len(), 12 * 4);
+        // Inside the normal range accuracy is positive and roughly flat.
+        for (x, da) in &pts {
+            assert!(*da > 0.0, "x={x} da={da}");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! BFloat16: the 16-bit truncated-`f32` format the paper uses as its
+//! high-precision baseline and as the accumulation format of the 8-bit
+//! accelerators.
+
+use core::fmt;
+
+/// A BFloat16 value (1 sign, 8 exponent, 7 mantissa bits).
+///
+/// BF16 shares `f32`'s exponent range, so conversion is a mantissa rounding:
+/// round-to-nearest-even on the upper 16 bits of the `f32` encoding.
+///
+/// # Example
+///
+/// ```
+/// use qt_softfloat::Bf16;
+/// let x = Bf16::from_f32(3.14159);
+/// assert!((x.to_f32() - 3.14159).abs() < 0.01);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Self = Self(0);
+    /// One.
+    pub const ONE: Self = Self(0x3f80);
+    /// Largest finite value, `(2 - 2^-7) * 2^127`.
+    pub const MAX: Self = Self(0x7f7f);
+    /// Smallest positive normal value, `2^-126`.
+    pub const MIN_POSITIVE: Self = Self(0x0080);
+
+    /// Construct from raw bits.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        Self(bits)
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Round an `f32` to the nearest BF16 value (round-to-nearest-even).
+    /// NaN inputs map to a quiet NaN; infinities are preserved.
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Quiet NaN, preserving the sign bit.
+            return Self(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the 16th bit.
+        let round_bit = 0x8000u32;
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x7fff + lsb);
+        let _ = round_bit;
+        Self((rounded >> 16) as u16)
+    }
+
+    /// Convert to `f32` exactly (BF16 is a prefix of the `f32` encoding).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Convert to `f64` exactly.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// `true` if the value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.to_f32().is_nan()
+    }
+
+    /// Quantize `x` onto the BF16 grid and return it as `f32`.
+    #[inline]
+    pub fn quantize(x: f32) -> f32 {
+        Self::from_f32(x).to_f32()
+    }
+}
+
+impl fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bf16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl PartialOrd for Bf16 {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(x: f32) -> Self {
+        Self::from_f32(x)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(x: Bf16) -> Self {
+        x.to_f32()
+    }
+}
+
+impl core::ops::Add for Bf16 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl core::ops::Sub for Bf16 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl core::ops::Mul for Bf16 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl core::ops::Div for Bf16 {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        Self::from_f32(self.to_f32() / rhs.to_f32())
+    }
+}
+
+impl core::ops::Neg for Bf16 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self(self.0 ^ 0x8000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+        assert_eq!(Bf16::MAX.to_f32(), 3.3895314e38);
+        assert_eq!(Bf16::MIN_POSITIVE.to_f32(), 1.1754944e-38);
+    }
+
+    #[test]
+    fn rne() {
+        // 1.0 + 2^-8 is exactly halfway between 1.0 and 1.0 + 2^-7;
+        // tie goes to even (1.0).
+        let half_ulp = f32::from_bits(0x3f80_8000);
+        assert_eq!(Bf16::from_f32(half_ulp).to_f32(), 1.0);
+        // Just above the midpoint rounds up.
+        let above = f32::from_bits(0x3f80_8001);
+        assert_eq!(Bf16::from_f32(above).to_f32(), 1.0 + 1.0 / 128.0);
+        // Midpoint above an odd mantissa rounds up to even.
+        let odd_mid = f32::from_bits(0x3f81_8000);
+        assert_eq!(Bf16::from_f32(odd_mid).to_f32(), 1.0 + 2.0 / 128.0);
+    }
+
+    #[test]
+    fn specials() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+        assert_eq!(
+            Bf16::from_f32(f32::NEG_INFINITY).to_f32(),
+            f32::NEG_INFINITY
+        );
+        assert_eq!(Bf16::from_f32(-0.0).bits(), 0x8000);
+    }
+
+    #[test]
+    fn roundtrip_exhaustive() {
+        for b in 0u16..=0xffff {
+            let v = Bf16::from_bits(b).to_f32();
+            if v.is_nan() {
+                assert!(Bf16::from_f32(v).is_nan());
+            } else {
+                assert_eq!(Bf16::from_f32(v).bits(), b, "bits {b:#06x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Bit-exact software implementations of the small floating-point formats
+//! used by the paper *8-bit Transformer Inference and Fine-tuning for Edge
+//! Accelerators* (ASPLOS 2024): BFloat16 and the 8-/9-bit minifloats
+//! E4M3, E5M2 and the hybrid E5M3 MAC format.
+//!
+//! All formats are plain `Copy` value types backed by their bit patterns.
+//! Conversions from `f32`/`f64` use round-to-nearest-even and expose both
+//! IEEE-style overflow (to infinity / NaN) and the saturating behaviour used
+//! for DNN training.
+//!
+//! # Example
+//!
+//! ```
+//! use qt_softfloat::{E4M3, Bf16};
+//!
+//! let x = E4M3::from_f32(0.3);
+//! assert!((x.to_f32() - 0.3).abs() < 0.02);
+//! assert_eq!(E4M3::max().to_f32(), 448.0);
+//!
+//! let y = Bf16::from_f32(1.0 + 1e-4); // rounds to 1.0
+//! assert_eq!(y.to_f32(), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+mod bf16;
+mod minifloat;
+
+pub use accuracy::{decimal_accuracy, decimal_accuracy_of_rounding};
+pub use bf16::Bf16;
+pub use minifloat::{FloatSpec, Minifloat, E4M3, E5M2, E5M3};
+
+/// Round an `f32` to the nearest BFloat16 value and return it as `f32`.
+///
+/// This is the "store to BF16 memory" operation used throughout the paper's
+/// GPU-simulated training: arithmetic runs in high precision, results are
+/// rounded to the storage grid.
+#[inline]
+pub fn round_to_bf16(x: f32) -> f32 {
+    Bf16::from_f32(x).to_f32()
+}

@@ -1,0 +1,39 @@
+//! A small dense-tensor library: the numerical substrate under the
+//! quantized-transformers reproduction.
+//!
+//! [`Tensor`] is a contiguous row-major `f32` array with a shape. The API
+//! follows NumPy semantics: elementwise ops broadcast over trailing axes,
+//! [`Tensor::matmul`] batches over leading axes, reductions take an axis.
+//! `f32` is the *carrier* precision — the paper's GPU experiments likewise
+//! simulate 8-bit formats by clipping values held in a wider type.
+//!
+//! # Panics
+//!
+//! Like `ndarray`, shape-sensitive operations panic on incompatible shapes
+//! with a descriptive message; these are programmer errors, not runtime
+//! conditions. Each method documents its requirements.
+//!
+//! # Example
+//!
+//! ```
+//! use qt_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! let s = a.softmax_lastdim();
+//! assert!((s.data()[0] + s.data()[1] - 1.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod linalg;
+mod reduce;
+mod shape;
+mod stats;
+mod tensor;
+
+pub use shape::broadcast_shapes;
+pub use stats::TensorStats;
+pub use tensor::Tensor;

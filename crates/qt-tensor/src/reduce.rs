@@ -1,0 +1,250 @@
+//! Reductions, softmax, layer normalisation.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum_all(&self) -> f32 {
+        // Kahan summation: the carrier precision should not be the noise
+        // floor of quantization experiments.
+        let mut s = 0.0f32;
+        let mut c = 0.0f32;
+        for &x in self.data() {
+            let y = x - c;
+            let t = s + y;
+            c = (t - s) - y;
+            s = t;
+        }
+        s
+    }
+
+    /// Mean of all elements. Returns 0 for an empty tensor.
+    pub fn mean_all(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum_all() / self.len() as f32
+        }
+    }
+
+    /// Maximum absolute value (`amax`), the statistic per-tensor scaling
+    /// tracks (paper §5.1). Returns 0 for an empty tensor.
+    pub fn amax(&self) -> f32 {
+        self.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Reduce an axis by summation, removing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= ndim`.
+    pub fn sum_axis(&self, axis: usize) -> Tensor {
+        self.reduce_axis(axis, 0.0, |a, b| a + b)
+    }
+
+    /// Reduce an axis by maximum, removing it.
+    pub fn max_axis(&self, axis: usize) -> Tensor {
+        self.reduce_axis(axis, f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Mean over an axis, removing it.
+    pub fn mean_axis(&self, axis: usize) -> Tensor {
+        let n = self.shape()[axis] as f32;
+        self.sum_axis(axis).mul_scalar(1.0 / n)
+    }
+
+    fn reduce_axis(&self, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert!(axis < self.ndim(), "axis {axis} out of range");
+        let shape = self.shape();
+        let out_shape: Vec<usize> = shape
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != axis)
+            .map(|(_, &d)| d)
+            .collect();
+        let outer: usize = shape[..axis].iter().product();
+        let alen = shape[axis];
+        let inner: usize = shape[axis + 1..].iter().product();
+        let mut out = Tensor::full(&out_shape, init);
+        let odata = out.data_mut();
+        for o in 0..outer {
+            for a in 0..alen {
+                for i in 0..inner {
+                    let src = o * alen * inner + a * inner + i;
+                    let dst = o * inner + i;
+                    odata[dst] = f(odata[dst], self.data()[src]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Index of the maximum element along the last axis.
+    pub fn argmax_lastdim(&self) -> Vec<usize> {
+        let last = *self.shape().last().expect("argmax of a scalar");
+        let rows = self.len() / last;
+        (0..rows)
+            .map(|r| {
+                let row = &self.data()[r * last..(r + 1) * last];
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
+            })
+            .collect()
+    }
+
+    /// Numerically-stable softmax over the last axis.
+    pub fn softmax_lastdim(&self) -> Tensor {
+        let last = *self.shape().last().expect("softmax of a scalar");
+        let rows = self.len() / last;
+        let mut out = self.clone();
+        let data = out.data_mut();
+        for r in 0..rows {
+            let row = &mut data[r * last..(r + 1) * last];
+            let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = libm::expf(*x - m);
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        out
+    }
+
+    /// Log-softmax over the last axis (stable).
+    pub fn log_softmax_lastdim(&self) -> Tensor {
+        let last = *self.shape().last().expect("log_softmax of a scalar");
+        let rows = self.len() / last;
+        let mut out = self.clone();
+        let data = out.data_mut();
+        for r in 0..rows {
+            let row = &mut data[r * last..(r + 1) * last];
+            let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let lse = m + libm::logf(row.iter().map(|&x| libm::expf(x - m)).sum::<f32>());
+            for x in row.iter_mut() {
+                *x -= lse;
+            }
+        }
+        out
+    }
+
+    /// Layer normalisation over the last axis with learned `gamma`/`beta`
+    /// (shape `[H]`): `(x - mean) / sqrt(var + eps) * gamma + beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma`/`beta` do not match the last axis.
+    pub fn layernorm_lastdim(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+        let h = *self.shape().last().expect("layernorm of a scalar");
+        assert_eq!(gamma.len(), h, "gamma size mismatch");
+        assert_eq!(beta.len(), h, "beta size mismatch");
+        let rows = self.len() / h;
+        let mut out = self.clone();
+        let data = out.data_mut();
+        for r in 0..rows {
+            let row = &mut data[r * h..(r + 1) * h];
+            let mean = row.iter().sum::<f32>() / h as f32;
+            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / h as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for (j, x) in row.iter_mut().enumerate() {
+                *x = (*x - mean) * inv * gamma.data()[j] + beta.data()[j];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums() {
+        let t = Tensor::from_vec((1..=6).map(|i| i as f32).collect(), &[2, 3]);
+        assert_eq!(t.sum_all(), 21.0);
+        assert_eq!(t.mean_all(), 3.5);
+        assert_eq!(t.sum_axis(0).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(t.sum_axis(1).data(), &[6.0, 15.0]);
+        assert_eq!(t.mean_axis(1).data(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn sum_axis_middle() {
+        let t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 4]);
+        let s = t.sum_axis(1);
+        assert_eq!(s.shape(), &[2, 4]);
+        assert_eq!(s.at(&[0, 0]), 0.0 + 4.0 + 8.0);
+        assert_eq!(s.at(&[1, 3]), 15.0 + 19.0 + 23.0);
+    }
+
+    #[test]
+    fn max_and_argmax() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 3.0, -2.0, 0.0, -1.0], &[2, 3]);
+        assert_eq!(t.max_axis(1).data(), &[5.0, 0.0]);
+        assert_eq!(t.argmax_lastdim(), vec![1, 1]);
+        assert_eq!(t.amax(), 5.0);
+    }
+
+    #[test]
+    fn softmax_properties() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1001.0, 1002.0], &[2, 3]);
+        let s = t.softmax_lastdim();
+        // rows sum to 1 and large offsets don't overflow
+        for r in 0..2 {
+            let sum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // shift invariance
+        for i in 0..3 {
+            assert!((s.data()[i] - s.data()[3 + i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_consistent() {
+        let t = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[1, 3]);
+        let ls = t.log_softmax_lastdim();
+        let s = t.softmax_lastdim();
+        for i in 0..3 {
+            assert!((ls.data()[i] - s.data()[i].ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn layernorm_normalises() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let g = Tensor::ones(&[4]);
+        let b = Tensor::zeros(&[4]);
+        let n = t.layernorm_lastdim(&g, &b, 1e-5);
+        let mean: f32 = n.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = n.data().iter().map(|x| x * x).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-3);
+        // gamma/beta applied
+        let g2 = Tensor::full(&[4], 2.0);
+        let b2 = Tensor::full(&[4], 1.0);
+        let n2 = t.layernorm_lastdim(&g2, &b2, 1e-5);
+        for i in 0..4 {
+            assert!((n2.data()[i] - (2.0 * n.data()[i] + 1.0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn kahan_sum_precision() {
+        // 1 + 1e-8 * 10^6 accumulated naively in f32 loses the tail.
+        let mut v = vec![1.0f32];
+        v.extend(std::iter::repeat(1e-8).take(1_000_000));
+        let t = Tensor::from_vec(v, &[1_000_001]);
+        assert!((t.sum_all() - 1.01).abs() < 1e-4, "{}", t.sum_all());
+    }
+}

@@ -1,0 +1,18 @@
+//! Training and evaluation machinery: optimizers (SGD, AdamW), a
+//! quantization-aware [`Trainer`], loss scaling, greedy decoding, and the
+//! paper's metrics (token-overlap F1, accuracy, word error rate,
+//! perplexity).
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod metrics;
+pub mod optim;
+pub mod trainer;
+
+pub use eval::{
+    evaluate_asr_wer, evaluate_classify, evaluate_lm_perplexity, evaluate_span_f1, greedy_decode,
+};
+pub use metrics::{accuracy, exact_match, span_f1, wer};
+pub use optim::{AdamW, Optimizer, Sgd};
+pub use trainer::Trainer;

@@ -1,0 +1,151 @@
+//! Evaluation metrics: token-overlap F1 (SQuAD), accuracy (GLUE), word
+//! error rate (ASR) and perplexity (LM).
+
+/// Token-overlap F1 between a predicted span and the gold span (both
+/// inclusive), the SQuAD metric.
+///
+/// ```
+/// use qt_train::span_f1;
+/// assert_eq!(span_f1((3, 5), (3, 5)), 1.0);
+/// assert_eq!(span_f1((0, 1), (4, 5)), 0.0);
+/// // half-overlapping spans
+/// let f1 = span_f1((2, 3), (3, 4));
+/// assert!((f1 - 0.5).abs() < 1e-9);
+/// ```
+pub fn span_f1(pred: (usize, usize), gold: (usize, usize)) -> f64 {
+    let (ps, pe) = pred;
+    let (gs, ge) = gold;
+    if ps > pe || gs > ge {
+        return 0.0;
+    }
+    let overlap = (pe.min(ge) + 1).saturating_sub(ps.max(gs));
+    if overlap == 0 {
+        return 0.0;
+    }
+    let p_len = pe - ps + 1;
+    let g_len = ge - gs + 1;
+    let precision = overlap as f64 / p_len as f64;
+    let recall = overlap as f64 / g_len as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Exact-match: 1.0 if the spans are identical.
+pub fn exact_match(pred: (usize, usize), gold: (usize, usize)) -> f64 {
+    if pred == gold {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Classification accuracy (fraction of matching labels, in `[0, 1]`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(pred: &[usize], gold: &[usize]) -> f64 {
+    assert_eq!(pred.len(), gold.len(), "accuracy length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(gold).filter(|(a, b)| a == b).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Word error rate: Levenshtein distance between hypothesis and reference
+/// divided by the reference length (may exceed 1).
+///
+/// ```
+/// use qt_train::wer;
+/// assert_eq!(wer(&[1, 2, 3], &[1, 2, 3]), 0.0);
+/// assert_eq!(wer(&[1, 9, 3], &[1, 2, 3]), 1.0 / 3.0);
+/// assert_eq!(wer(&[], &[1, 2]), 1.0); // two deletions / len 2
+/// ```
+pub fn wer(hypothesis: &[usize], reference: &[usize]) -> f64 {
+    if reference.is_empty() {
+        return if hypothesis.is_empty() { 0.0 } else { 1.0 };
+    }
+    let d = levenshtein(hypothesis, reference);
+    d as f64 / reference.len() as f64
+}
+
+fn levenshtein(a: &[usize], b: &[usize]) -> usize {
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ai) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &bj) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ai != bj);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        core::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Accumulates negative log-likelihoods into a perplexity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Perplexity {
+    nll_sum: f64,
+    tokens: u64,
+}
+
+impl Perplexity {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add the summed NLL of `tokens` positions.
+    pub fn add(&mut self, nll_sum: f64, tokens: u64) {
+        self.nll_sum += nll_sum;
+        self.tokens += tokens;
+    }
+
+    /// `exp(mean NLL)`, or infinity with no tokens.
+    pub fn value(&self) -> f64 {
+        if self.tokens == 0 {
+            return f64::INFINITY;
+        }
+        libm::exp(self.nll_sum / self.tokens as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_symmetry_and_bounds() {
+        for &(a, b) in &[((0usize, 3usize), (1usize, 2usize)), ((2, 5), (4, 9))] {
+            let f = span_f1(a, b);
+            assert_eq!(f, span_f1(b, a));
+            assert!((0.0..=1.0).contains(&f));
+        }
+        // containment: pred inside gold
+        let f = span_f1((1, 2), (0, 3));
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn wer_cases() {
+        assert_eq!(wer(&[1, 2, 3, 4], &[1, 2, 3]), 1.0 / 3.0); // insertion
+        assert_eq!(wer(&[1, 3], &[1, 2, 3]), 1.0 / 3.0); // deletion
+        assert!(wer(&[9, 9, 9, 9, 9, 9], &[1, 2]) > 1.0); // worse than empty
+    }
+
+    #[test]
+    fn perplexity_uniform() {
+        let mut p = Perplexity::new();
+        // uniform over 8 classes → NLL = ln 8 per token → ppl 8
+        p.add((8.0f64).ln() * 10.0, 10);
+        assert!((p.value() - 8.0).abs() < 1e-9);
+        assert_eq!(Perplexity::new().value(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,276 @@
+//! Optimizers over named parameters.
+
+use qt_tensor::Tensor;
+use qt_transformer::ParamStore;
+use std::collections::BTreeMap;
+
+/// An optimizer applying named gradients to a [`ParamStore`].
+pub trait Optimizer {
+    /// Apply one update step. Parameters without a gradient are untouched.
+    fn step(&mut self, params: &mut ParamStore, grads: &BTreeMap<String, Tensor>);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Set the learning rate (for schedules).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Bytes of optimizer state per trainable parameter element
+    /// (used by the fine-tuning memory model, Figure 14).
+    fn state_bytes_per_param(&self) -> usize;
+}
+
+/// Stochastic gradient descent with optional momentum.
+///
+/// The paper falls back to SGD for MobileBERT on SQuAD, where AdamW's
+/// second-moment statistics diverge under 8-bit gradients (§6.3).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: BTreeMap<String, Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: BTreeMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamStore, grads: &BTreeMap<String, Tensor>) {
+        for (name, g) in grads {
+            if !params.contains(name) {
+                continue;
+            }
+            let update = if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(name.clone())
+                    .or_insert_with(|| Tensor::zeros(g.shape()));
+                *v = v.mul_scalar(self.momentum).add(g);
+                v.clone()
+            } else {
+                g.clone()
+            };
+            let lr = self.lr;
+            params.get_mut(name).zip_inplace(&update, |p, u| p - lr * u);
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn state_bytes_per_param(&self) -> usize {
+        if self.momentum > 0.0 {
+            4
+        } else {
+            0
+        }
+    }
+}
+
+/// AdamW (decoupled weight decay), the paper's default fine-tuning
+/// optimizer.
+#[derive(Debug, Clone)]
+pub struct AdamW {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: BTreeMap<String, Tensor>,
+    v: BTreeMap<String, Tensor>,
+}
+
+impl AdamW {
+    /// AdamW with standard betas (0.9, 0.999) and weight decay 0.01.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            t: 0,
+            m: BTreeMap::new(),
+            v: BTreeMap::new(),
+        }
+    }
+
+    /// Override weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self, params: &mut ParamStore, grads: &BTreeMap<String, Tensor>) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (name, g) in grads {
+            if !params.contains(name) {
+                continue;
+            }
+            let m = self
+                .m
+                .entry(name.clone())
+                .or_insert_with(|| Tensor::zeros(g.shape()));
+            *m = m.mul_scalar(self.beta1).add(&g.mul_scalar(1.0 - self.beta1));
+            let v = self
+                .v
+                .entry(name.clone())
+                .or_insert_with(|| Tensor::zeros(g.shape()));
+            *v = v
+                .mul_scalar(self.beta2)
+                .add(&g.mul(g).mul_scalar(1.0 - self.beta2));
+            let mhat = m.mul_scalar(1.0 / bc1);
+            let vhat = v.mul_scalar(1.0 / bc2);
+            let (lr, eps, wd) = (self.lr, self.eps, self.weight_decay);
+            let update = mhat.zip(&vhat, |mm, vv| mm / (vv.sqrt() + eps));
+            let p = params.get_mut(name);
+            // decoupled weight decay
+            if wd > 0.0 {
+                p.map_inplace(|x| x * (1.0 - lr * wd));
+            }
+            p.zip_inplace(&update, |x, u| x - lr * u);
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn state_bytes_per_param(&self) -> usize {
+        8 // two f32 moments
+    }
+}
+
+/// Clip gradients to a global L2 norm; returns the pre-clip norm.
+pub fn clip_global_norm(grads: &mut BTreeMap<String, Tensor>, max_norm: f32) -> f32 {
+    let mut sq = 0.0f64;
+    for g in grads.values() {
+        sq += g.data().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
+    }
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let s = max_norm / norm;
+        for g in grads.values_mut() {
+            g.map_inplace(|x| x * s);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_setup() -> (ParamStore, Tensor) {
+        let mut p = ParamStore::new();
+        p.insert("x", Tensor::from_vec(vec![5.0, -3.0], &[2]));
+        (p, Tensor::zeros(&[2]))
+    }
+
+    fn grad_of(p: &ParamStore) -> BTreeMap<String, Tensor> {
+        // f = x², grad = 2x
+        let mut g = BTreeMap::new();
+        g.insert("x".to_string(), p.get("x").mul_scalar(2.0));
+        g
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let (mut p, _) = quadratic_setup();
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..50 {
+            let g = grad_of(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!(p.get("x").amax() < 1e-3);
+        assert_eq!(opt.state_bytes_per_param(), 0);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |mom: f32| {
+            let (mut p, _) = quadratic_setup();
+            let mut opt = Sgd::with_momentum(0.02, mom);
+            for _ in 0..30 {
+                let g = grad_of(&p);
+                opt.step(&mut p, &g);
+            }
+            p.get("x").amax()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adamw_converges_on_quadratic() {
+        let (mut p, _) = quadratic_setup();
+        let mut opt = AdamW::new(0.3).with_weight_decay(0.0);
+        for _ in 0..200 {
+            let g = grad_of(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!(p.get("x").amax() < 1e-2, "{}", p.get("x").amax());
+        assert_eq!(opt.state_bytes_per_param(), 8);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_unused_params() {
+        let mut p = ParamStore::new();
+        p.insert("w", Tensor::from_vec(vec![1.0], &[1]));
+        let mut opt = AdamW::new(0.1);
+        let mut g = BTreeMap::new();
+        g.insert("w".to_string(), Tensor::zeros(&[1]));
+        for _ in 0..10 {
+            opt.step(&mut p, &g);
+        }
+        assert!(p.get("w").data()[0] < 1.0);
+    }
+
+    #[test]
+    fn unknown_grads_ignored() {
+        let (mut p, _) = quadratic_setup();
+        let mut g = BTreeMap::new();
+        g.insert("ghost".to_string(), Tensor::ones(&[2]));
+        Sgd::new(0.1).step(&mut p, &g);
+        assert_eq!(p.get("x").data(), &[5.0, -3.0]);
+    }
+
+    #[test]
+    fn clipping() {
+        let mut g = BTreeMap::new();
+        g.insert("a".to_string(), Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let norm = clip_global_norm(&mut g, 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        let clipped: f32 = g["a"].data().iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((clipped - 1.0).abs() < 1e-5);
+        // under the limit: untouched
+        let norm2 = clip_global_norm(&mut g, 10.0);
+        assert!((norm2 - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,360 @@
+//! Model architecture configuration and the simulation-scale model zoo.
+//!
+//! The paper evaluates pretrained checkpoints from 16M to 13B parameters.
+//! This reproduction cannot ship those weights, so each family is mirrored
+//! by a *simulation-scale* config that preserves the architectural property
+//! the paper's analysis hinges on:
+//!
+//! - `mobilebert*_sim`: **stacked** feed-forward networks without
+//!   intermediate layer norms — the trait that widens activations and makes
+//!   MobileBERT fragile under Posit8 without fusion (Figure 6);
+//! - `bert*_sim` / `roberta*_sim`: classic post-LN encoder blocks;
+//! - `whisper*_sim`: encoder-decoder with cross-attention;
+//! - `gpt2*_sim` / `llama*_sim`: causal decoders (LLaMA-style uses wider
+//!   FFNs and more heads as it "scales").
+//!
+//! Within a family, `*_sim` sizes scale the same way the paper's models do
+//! (more layers/width from tiny → large), so "larger models are more robust
+//! to quantization" remains testable.
+
+/// Transformer topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Encoder-only (BERT/RoBERTa/MobileBERT style, bidirectional).
+    Encoder,
+    /// Decoder-only (GPT/LLaMA style, causal).
+    Decoder,
+    /// Encoder-decoder with cross-attention (Whisper style).
+    EncDec,
+}
+
+/// Architecture hyperparameters of a model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TransformerConfig {
+    /// Human-readable name (paper model it simulates).
+    pub name: &'static str,
+    /// Topology.
+    pub kind: ModelKind,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Hidden (embedding) width.
+    pub hidden: usize,
+    /// Number of layers (per stack for `EncDec`).
+    pub layers: usize,
+    /// Attention heads (must divide `hidden`).
+    pub heads: usize,
+    /// Feed-forward inner width.
+    pub ffn: usize,
+    /// Number of *stacked* FFNs per block (MobileBERT's quirk; 1 = normal).
+    pub stacked_ffn: usize,
+    /// Layer-norm between stacked FFNs? MobileBERT omits it, which is what
+    /// lets activations grow wide.
+    pub ln_between_ffn: bool,
+    /// Maximum sequence length (positional embedding table size).
+    pub max_seq: usize,
+}
+
+impl TransformerConfig {
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Rough parameter count of the backbone (embeddings + blocks).
+    pub fn param_count(&self) -> usize {
+        let h = self.hidden;
+        let attn = 4 * h * h + 4 * h;
+        let ffn = self.stacked_ffn * (h * self.ffn * 2 + self.ffn + h);
+        let ln = 4 * h; // two layer norms per block
+        let block = attn + ffn + ln;
+        let blocks = match self.kind {
+            ModelKind::EncDec => {
+                // decoder blocks also carry a cross-attention
+                self.layers * block + self.layers * (block + attn + 2 * h)
+            }
+            _ => self.layers * block,
+        };
+        self.vocab * h + self.max_seq * h + blocks
+    }
+
+    /// Validate invariants (heads divide hidden, non-zero sizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hidden == 0 || self.layers == 0 || self.heads == 0 || self.vocab == 0 {
+            return Err(format!("{}: zero-sized dimension", self.name));
+        }
+        if !self.hidden.is_multiple_of(self.heads) {
+            return Err(format!(
+                "{}: hidden {} not divisible by heads {}",
+                self.name, self.hidden, self.heads
+            ));
+        }
+        if self.stacked_ffn == 0 {
+            return Err(format!("{}: stacked_ffn must be >= 1", self.name));
+        }
+        Ok(())
+    }
+
+    // ---------- the zoo ----------
+
+    /// MobileBERT_tiny analogue: stacked FFNs, two fewer than MobileBERT
+    /// (the paper notes this is why it quantizes *better*).
+    pub fn mobilebert_tiny_sim() -> Self {
+        Self {
+            name: "MobileBERT_tiny-sim",
+            kind: ModelKind::Encoder,
+            vocab: 96,
+            hidden: 32,
+            layers: 3,
+            heads: 4,
+            ffn: 64,
+            stacked_ffn: 2,
+            ln_between_ffn: false,
+            max_seq: 48,
+        }
+    }
+
+    /// MobileBERT analogue: four stacked FFNs, no LN in between.
+    pub fn mobilebert_sim() -> Self {
+        Self {
+            name: "MobileBERT-sim",
+            kind: ModelKind::Encoder,
+            vocab: 96,
+            hidden: 32,
+            layers: 4,
+            heads: 4,
+            ffn: 64,
+            stacked_ffn: 4,
+            ln_between_ffn: false,
+            max_seq: 48,
+        }
+    }
+
+    /// DistilBERT analogue: plain encoder, middle size.
+    pub fn distilbert_sim() -> Self {
+        Self {
+            name: "DistilBERT-sim",
+            kind: ModelKind::Encoder,
+            vocab: 96,
+            hidden: 56,
+            layers: 4,
+            heads: 4,
+            ffn: 112,
+            stacked_ffn: 1,
+            ln_between_ffn: true,
+            max_seq: 48,
+        }
+    }
+
+    /// BERT_base analogue.
+    pub fn bert_base_sim() -> Self {
+        Self {
+            name: "BERT_base-sim",
+            kind: ModelKind::Encoder,
+            vocab: 96,
+            hidden: 64,
+            layers: 4,
+            heads: 4,
+            ffn: 128,
+            stacked_ffn: 1,
+            ln_between_ffn: true,
+            max_seq: 48,
+        }
+    }
+
+    /// BERT_large analogue.
+    pub fn bert_large_sim() -> Self {
+        Self {
+            name: "BERT_large-sim",
+            kind: ModelKind::Encoder,
+            vocab: 96,
+            hidden: 96,
+            layers: 6,
+            heads: 6,
+            ffn: 192,
+            stacked_ffn: 1,
+            ln_between_ffn: true,
+            max_seq: 48,
+        }
+    }
+
+    /// RoBERTa_base analogue (same skeleton as BERT_base).
+    pub fn roberta_base_sim() -> Self {
+        Self {
+            name: "RoBERTa_base-sim",
+            ..Self::bert_base_sim()
+        }
+    }
+
+    /// RoBERTa_large analogue.
+    pub fn roberta_large_sim() -> Self {
+        Self {
+            name: "RoBERTa_large-sim",
+            ..Self::bert_large_sim()
+        }
+    }
+
+    /// Whisper_tiny analogue (encoder-decoder).
+    pub fn whisper_tiny_sim() -> Self {
+        Self {
+            name: "Whisper_tiny-sim",
+            kind: ModelKind::EncDec,
+            vocab: 64,
+            hidden: 32,
+            layers: 2,
+            heads: 4,
+            ffn: 64,
+            stacked_ffn: 1,
+            ln_between_ffn: true,
+            max_seq: 48,
+        }
+    }
+
+    /// Whisper_small analogue.
+    pub fn whisper_small_sim() -> Self {
+        Self {
+            name: "Whisper_small-sim",
+            hidden: 48,
+            layers: 3,
+            ffn: 96,
+            ..Self::whisper_tiny_sim()
+        }
+    }
+
+    /// Whisper_large analogue.
+    pub fn whisper_large_sim() -> Self {
+        Self {
+            name: "Whisper_large-sim",
+            hidden: 64,
+            layers: 4,
+            ffn: 128,
+            ..Self::whisper_tiny_sim()
+        }
+    }
+
+    /// GPT-2 Large analogue (causal decoder).
+    pub fn gpt2_large_sim() -> Self {
+        Self {
+            name: "GPT-2-Large-sim",
+            kind: ModelKind::Decoder,
+            vocab: 128,
+            hidden: 48,
+            layers: 3,
+            heads: 4,
+            ffn: 96,
+            stacked_ffn: 1,
+            ln_between_ffn: true,
+            max_seq: 64,
+        }
+    }
+
+    /// GPT-2 XL analogue.
+    pub fn gpt2_xl_sim() -> Self {
+        Self {
+            name: "GPT-2-XL-sim",
+            hidden: 64,
+            layers: 4,
+            ffn: 128,
+            ..Self::gpt2_large_sim()
+        }
+    }
+
+    /// LLaMA-2 7B analogue.
+    pub fn llama7b_sim() -> Self {
+        Self {
+            name: "LLaMA-2-7B-sim",
+            hidden: 96,
+            layers: 5,
+            heads: 6,
+            ffn: 256,
+            ..Self::gpt2_large_sim()
+        }
+    }
+
+    /// LLaMA-2 13B analogue.
+    pub fn llama13b_sim() -> Self {
+        Self {
+            name: "LLaMA-2-13B-sim",
+            hidden: 128,
+            layers: 6,
+            heads: 8,
+            ffn: 320,
+            ..Self::gpt2_large_sim()
+        }
+    }
+
+    /// The SQuAD-experiment families of Table 2, smallest to largest.
+    pub fn squad_family() -> Vec<Self> {
+        vec![
+            Self::mobilebert_tiny_sim(),
+            Self::mobilebert_sim(),
+            Self::distilbert_sim(),
+            Self::bert_base_sim(),
+            Self::bert_large_sim(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_validates() {
+        for cfg in [
+            TransformerConfig::mobilebert_tiny_sim(),
+            TransformerConfig::mobilebert_sim(),
+            TransformerConfig::distilbert_sim(),
+            TransformerConfig::bert_base_sim(),
+            TransformerConfig::bert_large_sim(),
+            TransformerConfig::whisper_tiny_sim(),
+            TransformerConfig::whisper_small_sim(),
+            TransformerConfig::whisper_large_sim(),
+            TransformerConfig::gpt2_large_sim(),
+            TransformerConfig::gpt2_xl_sim(),
+            TransformerConfig::llama7b_sim(),
+            TransformerConfig::llama13b_sim(),
+        ] {
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn families_scale_upward() {
+        let fam = TransformerConfig::squad_family();
+        for w in fam.windows(2) {
+            assert!(
+                w[0].param_count() <= w[1].param_count(),
+                "{} !<= {}",
+                w[0].name,
+                w[1].name
+            );
+        }
+        assert!(
+            TransformerConfig::llama13b_sim().param_count()
+                > TransformerConfig::gpt2_large_sim().param_count()
+        );
+    }
+
+    #[test]
+    fn mobilebert_has_stacked_ffn_without_ln() {
+        let m = TransformerConfig::mobilebert_sim();
+        assert!(m.stacked_ffn > 1 && !m.ln_between_ffn);
+        assert!(m.stacked_ffn > TransformerConfig::mobilebert_tiny_sim().stacked_ffn);
+        let b = TransformerConfig::bert_base_sim();
+        assert_eq!(b.stacked_ffn, 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = TransformerConfig::bert_base_sim();
+        c.heads = 5; // does not divide 64
+        assert!(c.validate().is_err());
+        c.heads = 4;
+        c.hidden = 0;
+        assert!(c.validate().is_err());
+    }
+}

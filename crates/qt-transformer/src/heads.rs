@@ -1,0 +1,42 @@
+//! Task heads: span extraction (SQuAD-style), sequence classification
+//! (GLUE-style) and tied language modelling.
+
+/// The task head attached on top of the backbone's final hidden states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskHead {
+    /// Span extraction: a `[H, 2]` linear producing start/end logits over
+    /// the sequence (logits shape `[B, S, 2]`).
+    Span,
+    /// Sequence classification from the first token: logits `[B, classes]`.
+    Classify(
+        /// Number of classes.
+        usize,
+    ),
+    /// Language modelling with the output projection tied to the token
+    /// embedding: logits `[B, S, V]`.
+    LmTied,
+}
+
+impl TaskHead {
+    /// Parameter-name prefix of head weights (trainable even in LoRA mode,
+    /// like the classifier in standard LoRA fine-tuning).
+    pub const PREFIX: &'static str = "head.";
+
+    /// Does this head add its own parameters? (`LmTied` reuses the
+    /// embedding table.)
+    pub fn has_params(self) -> bool {
+        !matches!(self, TaskHead::LmTied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lm_head_is_tied() {
+        assert!(!TaskHead::LmTied.has_params());
+        assert!(TaskHead::Span.has_params());
+        assert!(TaskHead::Classify(4).has_params());
+    }
+}

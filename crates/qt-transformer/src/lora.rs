@@ -1,0 +1,104 @@
+//! Low-rank adaptation in a single 8-bit data type (§5.3).
+//!
+//! Classic LoRA keeps the pretrained weight `W0` quantized (int8) but
+//! *upcasts and merges in floating point* before every linear — losing the
+//! 8-bit GEMM. The paper instead quantizes everything to the same 8-bit
+//! format (Equation 7):
+//!
+//! ```text
+//! h = quant( W0⁸ + α · quant(A¹⁶) · quant(B¹⁶) ) · x
+//! ```
+//!
+//! so the merged weight feeds the 8-bit systolic array directly. The
+//! low-rank factors stay in 16-bit master copies (enough precision for the
+//! updates) and are quantized on the fly.
+
+/// Which dense layers receive LoRA factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoraTargets {
+    /// Query and value projections only (the RoBERTa setting, rank 8 in
+    /// the original LoRA paper and §6.1).
+    QueryValue,
+    /// Every dense layer (the MobileBERT setting: its stacked-FFN outputs
+    /// are unstable, so all of them need adapters to retain accuracy).
+    AllDense,
+}
+
+/// LoRA hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoraConfig {
+    /// Low-rank dimension `r`.
+    pub rank: usize,
+    /// Scaling `α`; the effective update is `(α / r) · A·B`.
+    pub alpha: f32,
+    /// Which weights get adapters.
+    pub targets: LoraTargets,
+}
+
+impl LoraConfig {
+    /// The paper's RoBERTa configuration: rank 8 on Wq/Wv.
+    pub fn roberta_default() -> Self {
+        Self {
+            rank: 8,
+            alpha: 16.0,
+            targets: LoraTargets::QueryValue,
+        }
+    }
+
+    /// The paper's MobileBERT configuration: adapters on every dense layer.
+    pub fn mobilebert_default() -> Self {
+        Self {
+            rank: 4,
+            alpha: 8.0,
+            targets: LoraTargets::AllDense,
+        }
+    }
+
+    /// Does weight `name` (e.g. `"enc.0.attn.wq"`) get an adapter?
+    pub fn applies_to(&self, name: &str) -> bool {
+        match self.targets {
+            LoraTargets::QueryValue => name.ends_with(".wq") || name.ends_with(".wv"),
+            LoraTargets::AllDense => {
+                name.ends_with(".wq")
+                    || name.ends_with(".wk")
+                    || name.ends_with(".wv")
+                    || name.ends_with(".wo")
+                    || name.ends_with(".w1")
+                    || name.ends_with(".w2")
+            }
+        }
+    }
+
+    /// Effective update scale `α / r`.
+    pub fn scale(&self) -> f32 {
+        self.alpha / self.rank as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qv_targets() {
+        let c = LoraConfig::roberta_default();
+        assert!(c.applies_to("enc.0.attn.wq"));
+        assert!(c.applies_to("enc.3.attn.wv"));
+        assert!(!c.applies_to("enc.0.attn.wk"));
+        assert!(!c.applies_to("enc.0.ffn0.w1"));
+    }
+
+    #[test]
+    fn all_dense_targets() {
+        let c = LoraConfig::mobilebert_default();
+        assert!(c.applies_to("enc.0.attn.wk"));
+        assert!(c.applies_to("enc.1.ffn2.w2"));
+        assert!(!c.applies_to("embed.tok"));
+        assert!(!c.applies_to("enc.0.ln1.gamma"));
+    }
+
+    #[test]
+    fn scale() {
+        assert_eq!(LoraConfig::roberta_default().scale(), 2.0);
+    }
+}

@@ -1,0 +1,778 @@
+//! The Transformer model: embeddings, attention blocks (with stacked-FFN
+//! support), encoder/decoder/enc-dec assembly, task heads, and
+//! quantization cuts at every operation boundary (Figure 5).
+
+use crate::config::{ModelKind, TransformerConfig};
+use crate::heads::TaskHead;
+use crate::lora::LoraConfig;
+use crate::params::ParamStore;
+use crate::qctx::QuantCtx;
+use qt_autograd::{Tape, Var};
+use qt_quant::OpClass;
+use qt_tensor::Tensor;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Additive mask value for padded/causally-hidden positions. Chosen so
+/// that (a) it survives 8-bit quantization (well inside Posit8/FP8 range)
+/// and (b) after max-subtraction it falls far below the approximate
+/// exponential's threshold θ.
+pub const MASK_NEG: f32 = -30.0;
+
+/// A batch of token sequences with a validity mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenBatch {
+    /// Token ids, row-major `[batch, seq]`.
+    pub ids: Vec<usize>,
+    /// Batch size.
+    pub batch: usize,
+    /// Sequence length (padded).
+    pub seq: usize,
+    /// Per-position validity: `true` = real token, `false` = padding.
+    pub valid: Vec<bool>,
+}
+
+impl TokenBatch {
+    /// Batch where every position is valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() != batch * seq`.
+    pub fn dense(ids: Vec<usize>, batch: usize, seq: usize) -> Self {
+        assert_eq!(ids.len(), batch * seq, "ids length mismatch");
+        let valid = vec![true; ids.len()];
+        Self {
+            ids,
+            batch,
+            seq,
+            valid,
+        }
+    }
+
+    /// Batch with an explicit validity mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree.
+    pub fn with_mask(ids: Vec<usize>, batch: usize, seq: usize, valid: Vec<bool>) -> Self {
+        assert_eq!(ids.len(), batch * seq, "ids length mismatch");
+        assert_eq!(valid.len(), ids.len(), "mask length mismatch");
+        Self {
+            ids,
+            batch,
+            seq,
+            valid,
+        }
+    }
+
+    /// Additive padding mask of shape `[B, 1, 1, S]` (0 valid, `MASK_NEG`
+    /// padded).
+    pub fn padding_mask(&self) -> Tensor {
+        let data: Vec<f32> = self
+            .valid
+            .iter()
+            .map(|&v| if v { 0.0 } else { MASK_NEG })
+            .collect();
+        Tensor::from_vec(data, &[self.batch, 1, 1, self.seq])
+    }
+}
+
+/// Which parameters are trainable this pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainMode {
+    /// Inference: nothing trainable.
+    Frozen,
+    /// Full fine-tuning: every parameter trainable.
+    Full,
+    /// LoRA: only `*.lora_a` / `*.lora_b` and head parameters trainable.
+    Lora,
+}
+
+impl TrainMode {
+    fn trainable(self, name: &str) -> bool {
+        match self {
+            TrainMode::Frozen => false,
+            TrainMode::Full => true,
+            TrainMode::Lora => name.contains(".lora_") || name.starts_with(TaskHead::PREFIX),
+        }
+    }
+}
+
+/// Output of a forward pass.
+#[derive(Debug)]
+pub struct ModelOutput {
+    /// Task logits: `[B, S, 2]` (span), `[B, classes]` (classify) or
+    /// `[B, S, V]` (LM).
+    pub logits: Var,
+    /// Final hidden states `[B, S, H]` (decoder side for enc-dec).
+    pub hidden: Var,
+    /// Tape variables of every parameter touched this pass, by name.
+    pub param_vars: BTreeMap<String, Var>,
+}
+
+/// A Transformer model with named parameters and optional LoRA adapters.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Architecture.
+    pub cfg: TransformerConfig,
+    /// All parameters (including any LoRA factors and head weights).
+    pub params: ParamStore,
+    /// Task head.
+    pub head: TaskHead,
+    /// LoRA configuration, if adapters have been added.
+    pub lora: Option<LoraConfig>,
+}
+
+impl Model {
+    /// Initialise a model with random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid (see
+    /// [`TransformerConfig::validate`]).
+    pub fn new(cfg: TransformerConfig, head: TaskHead, rng: &mut impl Rng) -> Self {
+        cfg.validate().expect("invalid config");
+        let mut p = ParamStore::new();
+        let h = cfg.hidden;
+        let std_h = 1.0 / (h as f32).sqrt();
+        p.init_normal("embed.tok", &[cfg.vocab, h], 0.5 * std_h * 4.0, rng);
+        p.init_normal("embed.pos", &[cfg.max_seq, h], 0.5 * std_h, rng);
+        p.init_ones("embed.ln.gamma", &[h]);
+        p.init_zeros("embed.ln.beta", &[h]);
+
+        let prefixes: &[&str] = match cfg.kind {
+            ModelKind::Encoder => &["enc"],
+            ModelKind::Decoder => &["dec"],
+            ModelKind::EncDec => &["enc", "dec"],
+        };
+        for prefix in prefixes {
+            for l in 0..cfg.layers {
+                init_block(&mut p, &cfg, &format!("{prefix}.{l}"), rng);
+            }
+        }
+        if cfg.kind == ModelKind::EncDec {
+            for l in 0..cfg.layers {
+                init_attn(&mut p, &cfg, &format!("dec.{l}.xattn"), rng);
+                p.init_ones(format!("dec.{l}.lnx.gamma"), &[h]);
+                p.init_zeros(format!("dec.{l}.lnx.beta"), &[h]);
+            }
+        }
+
+        match head {
+            TaskHead::Span => {
+                p.init_normal("head.span.w", &[h, 2], std_h, rng);
+                p.init_zeros("head.span.b", &[2]);
+            }
+            TaskHead::Classify(k) => {
+                p.init_normal("head.cls.w", &[h, k], std_h, rng);
+                p.init_zeros("head.cls.b", &[k]);
+            }
+            TaskHead::LmTied => {}
+        }
+
+        Self {
+            cfg,
+            params: p,
+            head,
+            lora: None,
+        }
+    }
+
+    /// Add LoRA adapters (and, per §5.3, quantize nothing here — the
+    /// factors live in 16-bit master copies and are quantized on the fly
+    /// at every forward).
+    pub fn add_lora(&mut self, lora: LoraConfig, rng: &mut impl Rng) {
+        let names = self.params.names();
+        for name in names {
+            if !lora.applies_to(&name) {
+                continue;
+            }
+            let shape = self.params.get(&name).shape().to_vec();
+            let (i, o) = (shape[0], shape[1]);
+            let std_a = 1.0 / (lora.rank as f32).sqrt();
+            self.params
+                .init_normal(format!("{name}.lora_a"), &[i, lora.rank], std_a, rng);
+            self.params
+                .init_zeros(format!("{name}.lora_b"), &[lora.rank, o]);
+        }
+        self.lora = Some(lora);
+    }
+
+    /// Number of trainable parameters under `mode`.
+    pub fn trainable_params(&self, mode: TrainMode) -> usize {
+        self.params.num_elements_matching(|n| mode.trainable(n))
+    }
+
+    /// Run the forward pass on `tape`.
+    ///
+    /// For [`ModelKind::EncDec`], `dec_batch` supplies the decoder tokens;
+    /// it is ignored otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an enc-dec model is called without `dec_batch`, or a
+    /// sequence exceeds `cfg.max_seq`.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        qctx: &QuantCtx,
+        batch: &TokenBatch,
+        dec_batch: Option<&TokenBatch>,
+        mode: TrainMode,
+    ) -> ModelOutput {
+        assert!(batch.seq <= self.cfg.max_seq, "sequence too long");
+        let mut b = Builder {
+            tape,
+            qctx,
+            model: self,
+            mode,
+            vars: BTreeMap::new(),
+        };
+        let (hidden, head_batch) = match self.cfg.kind {
+            ModelKind::Encoder => {
+                let x = b.embed(batch);
+                let mask = batch.padding_mask();
+                let mut x = x;
+                for l in 0..self.cfg.layers {
+                    x = b.block(x, None, &mask, &format!("enc.{l}"), batch.batch, batch.seq);
+                }
+                (x, batch)
+            }
+            ModelKind::Decoder => {
+                let x = b.embed(batch);
+                let mask = causal_mask(batch);
+                let mut x = x;
+                for l in 0..self.cfg.layers {
+                    x = b.block(x, None, &mask, &format!("dec.{l}"), batch.batch, batch.seq);
+                }
+                (x, batch)
+            }
+            ModelKind::EncDec => {
+                let dec = dec_batch.expect("enc-dec model needs decoder batch");
+                assert!(dec.seq <= self.cfg.max_seq, "decoder sequence too long");
+                // encoder stack
+                let mut m = b.embed(batch);
+                let enc_mask = batch.padding_mask();
+                for l in 0..self.cfg.layers {
+                    m = b.block(m, None, &enc_mask, &format!("enc.{l}"), batch.batch, batch.seq);
+                }
+                // decoder stack with cross-attention to m
+                let mut x = b.embed(dec);
+                let self_mask = causal_mask(dec);
+                for l in 0..self.cfg.layers {
+                    x = b.block(
+                        x,
+                        Some((m, &enc_mask)),
+                        &self_mask,
+                        &format!("dec.{l}"),
+                        dec.batch,
+                        dec.seq,
+                    );
+                }
+                (x, dec)
+            }
+        };
+        let logits = b.apply_head(hidden, head_batch);
+        let vars = b.vars;
+        ModelOutput {
+            logits,
+            hidden,
+            param_vars: vars,
+        }
+    }
+}
+
+fn init_attn(p: &mut ParamStore, cfg: &TransformerConfig, prefix: &str, rng: &mut impl Rng) {
+    let h = cfg.hidden;
+    let std = 1.0 / (h as f32).sqrt();
+    for w in ["wq", "wk", "wv", "wo"] {
+        p.init_normal(format!("{prefix}.{w}"), &[h, h], std, rng);
+    }
+    for b in ["bq", "bk", "bv", "bo"] {
+        p.init_zeros(format!("{prefix}.{b}"), &[h]);
+    }
+}
+
+fn init_block(p: &mut ParamStore, cfg: &TransformerConfig, prefix: &str, rng: &mut impl Rng) {
+    let h = cfg.hidden;
+    init_attn(p, cfg, &format!("{prefix}.attn"), rng);
+    p.init_ones(format!("{prefix}.ln1.gamma"), &[h]);
+    p.init_zeros(format!("{prefix}.ln1.beta"), &[h]);
+    p.init_ones(format!("{prefix}.ln2.gamma"), &[h]);
+    p.init_zeros(format!("{prefix}.ln2.beta"), &[h]);
+    let std_in = 1.0 / (h as f32).sqrt();
+    let std_out = 1.0 / (cfg.ffn as f32).sqrt();
+    for j in 0..cfg.stacked_ffn {
+        p.init_normal(format!("{prefix}.ffn{j}.w1"), &[h, cfg.ffn], std_in, rng);
+        p.init_zeros(format!("{prefix}.ffn{j}.b1"), &[cfg.ffn]);
+        p.init_normal(format!("{prefix}.ffn{j}.w2"), &[cfg.ffn, h], std_out, rng);
+        p.init_zeros(format!("{prefix}.ffn{j}.b2"), &[h]);
+        if cfg.ln_between_ffn && cfg.stacked_ffn > 1 && j + 1 < cfg.stacked_ffn {
+            p.init_ones(format!("{prefix}.lnf{j}.gamma"), &[h]);
+            p.init_zeros(format!("{prefix}.lnf{j}.beta"), &[h]);
+        }
+    }
+}
+
+/// Causal + padding mask `[B, 1, S, S]`.
+fn causal_mask(batch: &TokenBatch) -> Tensor {
+    let (b, s) = (batch.batch, batch.seq);
+    let mut t = Tensor::zeros(&[b, 1, s, s]);
+    for bi in 0..b {
+        for i in 0..s {
+            for j in 0..s {
+                let hidden_by_causality = j > i;
+                let padded = !batch.valid[bi * s + j];
+                if hidden_by_causality || padded {
+                    t.set(&[bi, 0, i, j], MASK_NEG);
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Per-forward-pass graph builder.
+struct Builder<'a> {
+    tape: &'a mut Tape,
+    qctx: &'a QuantCtx,
+    model: &'a Model,
+    mode: TrainMode,
+    vars: BTreeMap<String, Var>,
+}
+
+impl Builder<'_> {
+    /// Leaf-register (once) and return a parameter.
+    fn p(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.vars.get(name) {
+            return v;
+        }
+        let trainable = self.mode.trainable(name);
+        let v = self
+            .tape
+            .leaf(self.model.params.get(name).clone(), trainable);
+        self.vars.insert(name.to_string(), v);
+        v
+    }
+
+    /// Effective weight for a dense layer: the raw parameter, or the
+    /// quantized LoRA merge of Equation 7.
+    fn weight(&mut self, name: &str) -> Var {
+        let w0 = self.p(name);
+        let Some(lora) = self.model.lora else {
+            return self.qctx.cut_weight(self.tape, w0, name);
+        };
+        if !lora.applies_to(name) || !self.model.params.contains(&format!("{name}.lora_a")) {
+            return self.qctx.cut_weight(self.tape, w0, name);
+        }
+        // quant(W0^8 + (α/r)·quant(A)·quant(B))
+        let a = self.p(&format!("{name}.lora_a"));
+        let bb = self.p(&format!("{name}.lora_b"));
+        let w0q = self.qctx.cut_weight(self.tape, w0, name);
+        let aq = self
+            .qctx
+            .cut_weight(self.tape, a, &format!("{name}.lora_a"));
+        let bq = self
+            .qctx
+            .cut_weight(self.tape, bb, &format!("{name}.lora_b"));
+        let ab = self.tape.matmul(aq, bq);
+        let delta = self.tape.mul_scalar(ab, lora.scale());
+        let merged = self.tape.add(w0q, delta);
+        self.qctx
+            .cut_weight(self.tape, merged, &format!("{name}.merged"))
+    }
+
+    /// `x @ W + b` with GEMM-site quantization of both operands.
+    fn linear(&mut self, x: Var, w_name: &str, b_name: &str, site: &str) -> Var {
+        let xq = self
+            .qctx
+            .cut(self.tape, x, OpClass::Gemm, &format!("{site}.in"));
+        let w = self.weight(w_name);
+        let y = self.tape.matmul(xq, w);
+        let b = self.p(b_name);
+        self.tape.add(y, b)
+    }
+
+    /// Token + positional embeddings with embedding layer norm.
+    fn embed(&mut self, batch: &TokenBatch) -> Var {
+        let (b, s) = (batch.batch, batch.seq);
+        let tok_table = self.p("embed.tok");
+        let tok = self.tape.embedding(tok_table, &batch.ids, &[b, s]);
+        let pos_ids: Vec<usize> = (0..b).flat_map(|_| 0..s).collect();
+        let pos_table = self.p("embed.pos");
+        let pos = self.tape.embedding(pos_table, &pos_ids, &[b, s]);
+        let sum = self.tape.add(tok, pos);
+        let g = self.p("embed.ln.gamma");
+        let be = self.p("embed.ln.beta");
+        let ln_in = self
+            .qctx
+            .cut(self.tape, sum, OpClass::LayerNorm, "embed.ln.in");
+        self.tape.layernorm(ln_in, g, be, 1e-5)
+    }
+
+    /// Multi-head attention with quantization at every site of Figure 5.
+    /// `kv`: `None` for self-attention, or the key/value source.
+    fn attention(
+        &mut self,
+        x: Var,
+        kv: Option<Var>,
+        mask: &Tensor,
+        prefix: &str,
+        batch: usize,
+        q_seq: usize,
+    ) -> Var {
+        let cfg = &self.model.cfg;
+        let (nh, dh, h) = (cfg.heads, cfg.head_dim(), cfg.hidden);
+        let kv_src = kv.unwrap_or(x);
+        let kv_seq = self.tape.value(kv_src).shape()[1];
+
+        let q = self.linear(x, &format!("{prefix}.wq"), &format!("{prefix}.bq"), &format!("{prefix}.q"));
+        let k = self.linear(
+            kv_src,
+            &format!("{prefix}.wk"),
+            &format!("{prefix}.bk"),
+            &format!("{prefix}.k"),
+        );
+        let v = self.linear(
+            kv_src,
+            &format!("{prefix}.wv"),
+            &format!("{prefix}.bv"),
+            &format!("{prefix}.v"),
+        );
+
+        // [B, S, H] -> [B, nh, S, dh]
+        let qh = self.heads_split(q, batch, q_seq, nh, dh);
+        let kh = self.heads_split(k, batch, kv_seq, nh, dh);
+        let vh = self.heads_split(v, batch, kv_seq, nh, dh);
+
+        // raw scores: QKᵀ — the GEMM whose *output* feeds attention scaling
+        let qq = self
+            .qctx
+            .cut(self.tape, qh, OpClass::Gemm, &format!("{prefix}.scores.q"));
+        let kt = self.tape.permute(kh, &[0, 1, 3, 2]);
+        let kq = self
+            .qctx
+            .cut(self.tape, kt, OpClass::Gemm, &format!("{prefix}.scores.k"));
+        let raw = self.tape.matmul(qq, kq);
+
+        // attention scaling site: the paper's most sensitive input (§4)
+        let raw_q = self.qctx.cut(
+            self.tape,
+            raw,
+            OpClass::AttnScaling,
+            &format!("{prefix}.unscaled_attn"),
+        );
+        let scaled = self.tape.mul_scalar(raw_q, 1.0 / (dh as f32).sqrt());
+
+        // mask, then softmax (activation site)
+        let mask_leaf = self.tape.leaf(mask.clone(), false);
+        let masked = self.tape.add(scaled, mask_leaf);
+        let sm_in = self.qctx.cut(
+            self.tape,
+            masked,
+            OpClass::Activation,
+            &format!("{prefix}.softmax.in"),
+        );
+        let probs = self.qctx.softmax(self.tape, sm_in);
+
+        // context: probs @ V
+        let pq = self
+            .qctx
+            .cut(self.tape, probs, OpClass::Gemm, &format!("{prefix}.ctx.p"));
+        let vq = self
+            .qctx
+            .cut(self.tape, vh, OpClass::Gemm, &format!("{prefix}.ctx.v"));
+        let ctx = self.tape.matmul(pq, vq);
+
+        // [B, nh, S, dh] -> [B, S, H], output projection
+        let merged = self.tape.permute(ctx, &[0, 2, 1, 3]);
+        let merged = self.tape.reshape(merged, &[batch, q_seq, h]);
+        self.linear(
+            merged,
+            &format!("{prefix}.wo"),
+            &format!("{prefix}.bo"),
+            &format!("{prefix}.o"),
+        )
+    }
+
+    fn heads_split(&mut self, x: Var, b: usize, s: usize, nh: usize, dh: usize) -> Var {
+        let r = self.tape.reshape(x, &[b, s, nh, dh]);
+        self.tape.permute(r, &[0, 2, 1, 3])
+    }
+
+    /// Residual add with both inputs cut at the residual site, then LN.
+    fn residual_ln(&mut self, x: Var, sub: Var, ln: &str, site: &str) -> Var {
+        let xr = self
+            .qctx
+            .cut(self.tape, x, OpClass::Residual, &format!("{site}.res.x"));
+        let sr = self
+            .qctx
+            .cut(self.tape, sub, OpClass::Residual, &format!("{site}.res.f"));
+        let sum = self.tape.add(xr, sr);
+        let g = self.p(&format!("{ln}.gamma"));
+        let b = self.p(&format!("{ln}.beta"));
+        let ln_in = self
+            .qctx
+            .cut(self.tape, sum, OpClass::LayerNorm, &format!("{site}.ln.in"));
+        self.tape.layernorm(ln_in, g, b, 1e-5)
+    }
+
+    /// One FFN: `W2·gelu(W1·x + b1) + b2` with the GELU input cut at the
+    /// activation site.
+    fn ffn(&mut self, x: Var, prefix: &str) -> Var {
+        let h1 = self.linear(
+            x,
+            &format!("{prefix}.w1"),
+            &format!("{prefix}.b1"),
+            &format!("{prefix}.up"),
+        );
+        let act_in = self.qctx.cut(
+            self.tape,
+            h1,
+            OpClass::Activation,
+            &format!("{prefix}.gelu.in"),
+        );
+        let a = self.tape.gelu(act_in);
+        self.linear(
+            a,
+            &format!("{prefix}.w2"),
+            &format!("{prefix}.b2"),
+            &format!("{prefix}.down"),
+        )
+    }
+
+    /// A full block: self-attention (+ optional cross-attention) and the
+    /// (possibly stacked) FFNs.
+    fn block(
+        &mut self,
+        x: Var,
+        cross: Option<(Var, &Tensor)>,
+        self_mask: &Tensor,
+        prefix: &str,
+        batch: usize,
+        seq: usize,
+    ) -> Var {
+        let attn = self.attention(x, None, self_mask, &format!("{prefix}.attn"), batch, seq);
+        let mut x = self.residual_ln(x, attn, &format!("{prefix}.ln1"), &format!("{prefix}.attn"));
+
+        if let Some((memory, mem_mask)) = cross {
+            let xa = self.attention(
+                x,
+                Some(memory),
+                mem_mask,
+                &format!("{prefix}.xattn"),
+                batch,
+                seq,
+            );
+            x = self.residual_ln(x, xa, &format!("{prefix}.lnx"), &format!("{prefix}.xattn"));
+        }
+
+        let cfg = &self.model.cfg;
+        let stacked = cfg.stacked_ffn;
+        for j in 0..stacked {
+            let f = self.ffn(x, &format!("{prefix}.ffn{j}"));
+            let last = j + 1 == stacked;
+            if last {
+                x = self.residual_ln(x, f, &format!("{prefix}.ln2"), &format!("{prefix}.ffn{j}"));
+            } else if cfg.ln_between_ffn {
+                x = self.residual_ln(x, f, &format!("{prefix}.lnf{j}"), &format!("{prefix}.ffn{j}"));
+            } else {
+                // MobileBERT-style: bare residual accumulation, no norm —
+                // this is what lets activations grow wide (Figure 6).
+                let xr = self.qctx.cut(
+                    self.tape,
+                    x,
+                    OpClass::Residual,
+                    &format!("{prefix}.ffn{j}.res.x"),
+                );
+                let fr = self.qctx.cut(
+                    self.tape,
+                    f,
+                    OpClass::Residual,
+                    &format!("{prefix}.ffn{j}.res.f"),
+                );
+                x = self.tape.add(xr, fr);
+            }
+        }
+        x
+    }
+
+    fn apply_head(&mut self, hidden: Var, batch: &TokenBatch) -> Var {
+        match self.model.head {
+            TaskHead::Span => self.linear(hidden, "head.span.w", "head.span.b", "head.span"),
+            TaskHead::Classify(_) => {
+                // first-token pooling via a constant selector [1, S]
+                let s = batch.seq;
+                let mut sel = Tensor::zeros(&[1, s]);
+                sel.set(&[0, 0], 1.0);
+                let selv = self.tape.leaf(sel, false);
+                let pooled = self.tape.matmul(selv, hidden); // [B, 1, H]
+                let h = self.model.cfg.hidden;
+                let pooled = self.tape.reshape(pooled, &[batch.batch, h]);
+                let t = self.tape.tanh(pooled);
+                self.linear(t, "head.cls.w", "head.cls.b", "head.cls")
+            }
+            TaskHead::LmTied => {
+                let table = self.p("embed.tok");
+                let tq = self.qctx.cut_weight(self.tape, table, "embed.tok.lm");
+                let wt = self.tape.transpose_last2(tq);
+                let hq = self
+                    .qctx
+                    .cut(self.tape, hidden, OpClass::Gemm, "head.lm.in");
+                self.tape.matmul(hq, wt)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_quant::QuantScheme;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn tiny_batch(cfg: &TransformerConfig, b: usize, s: usize, rng: &mut StdRng) -> TokenBatch {
+        let ids: Vec<usize> = (0..b * s).map(|_| rng.gen_range(0..cfg.vocab)).collect();
+        TokenBatch::dense(ids, b, s)
+    }
+
+    #[test]
+    fn encoder_forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = TransformerConfig::mobilebert_tiny_sim();
+        let model = Model::new(cfg.clone(), TaskHead::Span, &mut rng);
+        let batch = tiny_batch(&cfg, 2, 8, &mut rng);
+        let mut tape = Tape::new();
+        let qctx = QuantCtx::inference(QuantScheme::fp32());
+        let out = model.forward(&mut tape, &qctx, &batch, None, TrainMode::Frozen);
+        assert_eq!(tape.value(out.logits).shape(), &[2, 8, 2]);
+        assert_eq!(tape.value(out.hidden).shape(), &[2, 8, cfg.hidden]);
+    }
+
+    #[test]
+    fn classify_head_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = TransformerConfig::bert_base_sim();
+        let model = Model::new(cfg.clone(), TaskHead::Classify(3), &mut rng);
+        let batch = tiny_batch(&cfg, 4, 6, &mut rng);
+        let mut tape = Tape::new();
+        let qctx = QuantCtx::inference(QuantScheme::bf16());
+        let out = model.forward(&mut tape, &qctx, &batch, None, TrainMode::Frozen);
+        assert_eq!(tape.value(out.logits).shape(), &[4, 3]);
+    }
+
+    #[test]
+    fn decoder_lm_shapes_and_causality() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = TransformerConfig::gpt2_large_sim();
+        let model = Model::new(cfg.clone(), TaskHead::LmTied, &mut rng);
+        let b = tiny_batch(&cfg, 1, 6, &mut rng);
+        let qctx = QuantCtx::inference(QuantScheme::fp32());
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &qctx, &b, None, TrainMode::Frozen);
+        assert_eq!(tape.value(out.logits).shape(), &[1, 6, cfg.vocab]);
+        // causality: changing a later token must not change earlier logits
+        let mut b2 = b.clone();
+        b2.ids[5] = (b2.ids[5] + 1) % cfg.vocab;
+        let mut tape2 = Tape::new();
+        let out2 = model.forward(&mut tape2, &qctx, &b2, None, TrainMode::Frozen);
+        let l1 = tape.value(out.logits);
+        let l2 = tape2.value(out2.logits);
+        for i in 0..5 * cfg.vocab {
+            assert_eq!(l1.data()[i], l2.data()[i], "position {i} leaked");
+        }
+        assert_ne!(
+            &l1.data()[5 * cfg.vocab..],
+            &l2.data()[5 * cfg.vocab..],
+            "last position should change"
+        );
+    }
+
+    #[test]
+    fn encdec_forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = TransformerConfig::whisper_tiny_sim();
+        let model = Model::new(cfg.clone(), TaskHead::LmTied, &mut rng);
+        let enc = tiny_batch(&cfg, 2, 10, &mut rng);
+        let dec = tiny_batch(&cfg, 2, 5, &mut rng);
+        let qctx = QuantCtx::inference(QuantScheme::fp32());
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &qctx, &enc, Some(&dec), TrainMode::Frozen);
+        assert_eq!(tape.value(out.logits).shape(), &[2, 5, cfg.vocab]);
+    }
+
+    #[test]
+    fn padding_is_ignored_by_encoder() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = TransformerConfig::bert_base_sim();
+        let model = Model::new(cfg.clone(), TaskHead::Classify(2), &mut rng);
+        let qctx = QuantCtx::inference(QuantScheme::fp32());
+        // same content, different padding tokens
+        let mut ids1 = vec![1usize, 2, 3, 4, 0, 0];
+        let valid = vec![true, true, true, true, false, false];
+        let b1 = TokenBatch::with_mask(ids1.clone(), 1, 6, valid.clone());
+        ids1[4] = 7;
+        ids1[5] = 9;
+        let b2 = TokenBatch::with_mask(ids1, 1, 6, valid);
+        let mut t1 = Tape::new();
+        let o1 = model.forward(&mut t1, &qctx, &b1, None, TrainMode::Frozen);
+        let mut t2 = Tape::new();
+        let o2 = model.forward(&mut t2, &qctx, &b2, None, TrainMode::Frozen);
+        let d1 = t1.value(o1.logits).data().to_vec();
+        let d2 = t2.value(o2.logits).data().to_vec();
+        for (a, b) in d1.iter().zip(&d2) {
+            assert!((a - b).abs() < 2e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lora_mode_trains_only_adapters_and_head() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = TransformerConfig::bert_base_sim();
+        let mut model = Model::new(cfg.clone(), TaskHead::Classify(2), &mut rng);
+        model.add_lora(LoraConfig::roberta_default(), &mut rng);
+        let full = model.trainable_params(TrainMode::Full);
+        let lora = model.trainable_params(TrainMode::Lora);
+        assert!(lora < full / 10, "lora {lora} vs full {full}");
+        assert!(lora > 0);
+        // gradient check: backward must produce grads for adapters only
+        let batch = tiny_batch(&cfg, 2, 4, &mut rng);
+        let qctx = QuantCtx::training(QuantScheme::bf16());
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &qctx, &batch, None, TrainMode::Lora);
+        let loss = tape.cross_entropy(out.logits, &[0, 1]);
+        let grads = tape.backward(loss);
+        let a_var = out.param_vars.get("enc.0.attn.wq.lora_a").unwrap();
+        let w_var = out.param_vars.get("enc.0.attn.wq").unwrap();
+        assert!(grads.get(*a_var).is_some(), "adapter should have grad");
+        assert!(grads.get(*w_var).is_none(), "frozen base should not");
+    }
+
+    #[test]
+    fn full_training_step_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = TransformerConfig::mobilebert_tiny_sim();
+        let model_cfg = cfg.clone();
+        let mut model = Model::new(model_cfg, TaskHead::Classify(2), &mut rng);
+        let batch = tiny_batch(&cfg, 4, 6, &mut rng);
+        let targets = [0usize, 1, 0, 1];
+        let qctx = QuantCtx::training(QuantScheme::fp32());
+        let mut last = f32::INFINITY;
+        for _ in 0..12 {
+            let mut tape = Tape::new();
+            let out = model.forward(&mut tape, &qctx, &batch, None, TrainMode::Full);
+            let loss = tape.cross_entropy(out.logits, &targets);
+            let lv = tape.value(loss).data()[0];
+            let grads = tape.backward(loss);
+            for (name, var) in &out.param_vars {
+                if let Some(g) = grads.get(*var) {
+                    let lr = 0.2;
+                    let g = g.clone();
+                    model.params.get_mut(name).zip_inplace(&g, |p, gv| p - lr * gv);
+                }
+            }
+            last = lv;
+        }
+        assert!(last < 0.35, "loss should fall with SGD, got {last}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Named parameter storage shared by models, optimizers and checkpoints.
+
+use qt_tensor::Tensor;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// An ordered map of named parameter tensors.
+///
+/// Ordering is deterministic (BTreeMap), which keeps optimizer state,
+/// serialization and RNG consumption reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: BTreeMap<String, Tensor>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a parameter.
+    pub fn insert(&mut self, name: impl Into<String>, t: Tensor) {
+        self.params.insert(name.into(), t);
+    }
+
+    /// Insert a trunc-normal(0, std) initialised parameter.
+    pub fn init_normal(
+        &mut self,
+        name: impl Into<String>,
+        shape: &[usize],
+        std: f32,
+        rng: &mut impl Rng,
+    ) {
+        let t = Tensor::randn(shape, rng).map(|x| (x * std).clamp(-2.0 * std, 2.0 * std));
+        self.insert(name, t);
+    }
+
+    /// Insert a zeros parameter.
+    pub fn init_zeros(&mut self, name: impl Into<String>, shape: &[usize]) {
+        self.insert(name, Tensor::zeros(shape));
+    }
+
+    /// Insert a ones parameter.
+    pub fn init_ones(&mut self, name: impl Into<String>, shape: &[usize]) {
+        self.insert(name, Tensor::ones(shape));
+    }
+
+    /// Borrow a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown (a wiring bug, not a runtime state).
+    pub fn get(&self, name: &str) -> &Tensor {
+        self.params
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown parameter {name:?}"))
+    }
+
+    /// Mutably borrow a parameter (for optimizer updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    pub fn get_mut(&mut self, name: &str) -> &mut Tensor {
+        self.params
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown parameter {name:?}"))
+    }
+
+    /// Does a parameter exist?
+    pub fn contains(&self, name: &str) -> bool {
+        self.params.contains_key(name)
+    }
+
+    /// Iterate `(name, tensor)` in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Names in deterministic order.
+    pub fn names(&self) -> Vec<String> {
+        self.params.keys().cloned().collect()
+    }
+
+    /// Number of parameters (elements, not tensors).
+    pub fn num_elements(&self) -> usize {
+        self.params.values().map(|t| t.len()).sum()
+    }
+
+    /// Number of tensors.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// `true` if no parameters are stored.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Sum of elements over tensors whose name passes `filter` — convenient
+    /// for counting trainable parameters.
+    pub fn num_elements_matching(&self, filter: impl Fn(&str) -> bool) -> usize {
+        self.params
+            .iter()
+            .filter(|(k, _)| filter(k))
+            .map(|(_, v)| v.len())
+            .sum()
+    }
+}
+
+impl FromIterator<(String, Tensor)> for ParamStore {
+    fn from_iter<I: IntoIterator<Item = (String, Tensor)>>(iter: I) -> Self {
+        Self {
+            params: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn insert_get_iterate() {
+        let mut ps = ParamStore::new();
+        ps.init_zeros("b.bias", &[4]);
+        ps.init_ones("a.gamma", &[4]);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.num_elements(), 8);
+        // deterministic (sorted) order
+        let names = ps.names();
+        assert_eq!(names, vec!["a.gamma".to_string(), "b.bias".to_string()]);
+        assert_eq!(ps.get("a.gamma").data(), &[1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter")]
+    fn get_unknown_panics() {
+        ParamStore::new().get("nope");
+    }
+
+    #[test]
+    fn trunc_normal_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps = ParamStore::new();
+        ps.init_normal("w", &[1000], 0.1, &mut rng);
+        let amax = ps.get("w").amax();
+        assert!(amax <= 0.2 + 1e-6, "{amax}");
+        assert!(amax > 0.05);
+    }
+
+    #[test]
+    fn filtered_count() {
+        let mut ps = ParamStore::new();
+        ps.init_zeros("layer0.lora_a", &[8]);
+        ps.init_zeros("layer0.w", &[100]);
+        assert_eq!(ps.num_elements_matching(|n| n.contains("lora")), 8);
+    }
+}

@@ -1,0 +1,97 @@
+//! Activation/gradient probing for the paper's distribution figures
+//! (Figures 6 and 10).
+
+use qt_tensor::{Tensor, TensorStats};
+
+/// Collects named tensor statistics during forward/backward passes.
+///
+/// Attach one to a [`crate::QuantCtx`] and every quantization cut records
+/// the *pre-quantization* distribution of the tensor flowing through it.
+#[derive(Debug, Default, Clone)]
+pub struct ProbeStore {
+    entries: Vec<(String, TensorStats)>,
+}
+
+impl ProbeStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record statistics of `t` under `name`.
+    pub fn record(&mut self, name: &str, t: &Tensor) {
+        self.entries.push((name.to_string(), TensorStats::of(t)));
+    }
+
+    /// All `(name, stats)` entries in recording order.
+    pub fn entries(&self) -> &[(String, TensorStats)] {
+        &self.entries
+    }
+
+    /// Entries whose name contains `needle`.
+    pub fn matching(&self, needle: &str) -> Vec<&(String, TensorStats)> {
+        self.entries
+            .iter()
+            .filter(|(n, _)| n.contains(needle))
+            .collect()
+    }
+
+    /// Merge the log2 histograms of all entries matching `needle` into one
+    /// (bucket-wise sum), or `None` if nothing matches.
+    pub fn merged_hist(&self, needle: &str) -> Option<Vec<u64>> {
+        self.merged_hist_where(|n| n.contains(needle))
+    }
+
+    /// Merge the log2 histograms of all entries whose name satisfies
+    /// `pred`, or `None` if nothing matches.
+    pub fn merged_hist_where(&self, pred: impl Fn(&str) -> bool) -> Option<Vec<u64>> {
+        let mut hist = vec![0u64; TensorStats::BUCKETS];
+        let mut any = false;
+        for (n, s) in &self.entries {
+            if !pred(n) {
+                continue;
+            }
+            any = true;
+            for (h, &c) in hist.iter_mut().zip(&s.log2_hist) {
+                *h += c;
+            }
+        }
+        any.then_some(hist)
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut p = ProbeStore::new();
+        p.record("layer0.act", &Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        p.record("layer1.act", &Tensor::from_vec(vec![4.0], &[1]));
+        p.record("layer0.grad", &Tensor::from_vec(vec![1e-6], &[1]));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.matching(".act").len(), 2);
+        let hist = p.merged_hist(".act").unwrap();
+        let total: u64 = hist.iter().sum();
+        assert_eq!(total, 3);
+        assert!(p.merged_hist("nothing").is_none());
+        p.clear();
+        assert!(p.is_empty());
+    }
+}

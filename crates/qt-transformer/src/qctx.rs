@@ -1,0 +1,240 @@
+//! [`QuantCtx`]: injects quantization at operation boundaries.
+//!
+//! The paper's simulation recipe (§6): *"clipping tensor values to the
+//! Posit8 or FP8 representable range before and after each operation;
+//! storing the value back into BFloat16"*. Here every operation input runs
+//! through [`QuantCtx::cut`], which
+//!
+//! - **forward**: fake-quantizes the value to the forward format — unless
+//!   the site’s [`OpClass`] is fused at the scheme’s fusion level;
+//! - **backward**: quantizes the gradient to the backward format, applying
+//!   per-tensor delayed scaling (§5.1) and recording the observed amax into
+//!   the shared [`AmaxTracker`].
+
+use crate::probe::ProbeStore;
+use crate::softmax::Softmax;
+use qt_autograd::{Tape, Var};
+use qt_quant::{AmaxTracker, ElemFormat, FakeQuant, OpClass, QuantScheme, ScalingMode};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Quantization context threaded through a model's forward pass.
+#[derive(Clone)]
+pub struct QuantCtx {
+    scheme: QuantScheme,
+    fq_fwd: Rc<FakeQuant>,
+    fq_bwd: Rc<FakeQuant>,
+    softmax: Rc<Softmax>,
+    tracker: Rc<RefCell<AmaxTracker>>,
+    probe: Option<Rc<RefCell<ProbeStore>>>,
+    training: bool,
+}
+
+impl QuantCtx {
+    /// Context for inference (no gradient bookkeeping).
+    pub fn inference(scheme: QuantScheme) -> Self {
+        Self::build(scheme, false)
+    }
+
+    /// Context for training: gradients are quantized and amax history is
+    /// tracked.
+    pub fn training(scheme: QuantScheme) -> Self {
+        Self::build(scheme, true)
+    }
+
+    fn build(scheme: QuantScheme, training: bool) -> Self {
+        let history = match scheme.scaling {
+            ScalingMode::PerTensorAmax { history } => history,
+            _ => 1,
+        };
+        Self {
+            scheme,
+            fq_fwd: Rc::new(FakeQuant::with_policy(scheme.fwd, scheme.underflow)),
+            fq_bwd: Rc::new(FakeQuant::with_policy(scheme.bwd, scheme.underflow)),
+            softmax: Rc::new(Softmax::new(scheme.softmax)),
+            tracker: Rc::new(RefCell::new(AmaxTracker::new(history))),
+            probe: None,
+            training,
+        }
+    }
+
+    /// Attach a probe that records pre-quantization tensor statistics at
+    /// every cut.
+    pub fn with_probe(mut self, probe: Rc<RefCell<ProbeStore>>) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// The scheme in effect.
+    pub fn scheme(&self) -> &QuantScheme {
+        self.scheme_ref()
+    }
+
+    fn scheme_ref(&self) -> &QuantScheme {
+        &self.scheme
+    }
+
+    /// Shared amax tracker (inspect after training for Figure 10).
+    pub fn tracker(&self) -> Rc<RefCell<AmaxTracker>> {
+        Rc::clone(&self.tracker)
+    }
+
+    /// Is this site quantized under the scheme?
+    pub fn quantizes(&self, op: OpClass) -> bool {
+        !matches!(self.scheme.fwd, ElemFormat::Fp32) && self.scheme.quantized_ops().contains(op)
+    }
+
+    /// Quantization cut: returns a [`Var`] whose forward value is the
+    /// (possibly) quantized input and whose backward pass quantizes the
+    /// gradient. `name` keys the probe entry and the per-tensor amax
+    /// history; use stable names like `"layer2.ffn0.act"`.
+    pub fn cut(&self, tape: &mut Tape, x: Var, op: OpClass, name: &str) -> Var {
+        if let Some(p) = &self.probe {
+            p.borrow_mut().record(name, tape.value(x));
+        }
+        let quantize_fwd = self.quantizes(op);
+        let quantize_bwd = self.training && !matches!(self.scheme.bwd, ElemFormat::Fp32);
+        if !quantize_fwd && !quantize_bwd {
+            return x;
+        }
+        let fwd_value = if quantize_fwd {
+            self.fq_fwd.quantize(tape.value(x))
+        } else {
+            tape.value(x).clone()
+        };
+        let fq_bwd = Rc::clone(&self.fq_bwd);
+        let tracker = Rc::clone(&self.tracker);
+        let scaling = self.scheme.scaling;
+        let bwd_fmt = self.scheme.bwd;
+        let key = format!("{name}.grad");
+        let probe = self.probe.clone();
+        tape.custom(
+            vec![x],
+            fwd_value,
+            Box::new(move |g, _parents, _| {
+                if !quantize_bwd {
+                    return vec![g.clone()];
+                }
+                if let Some(p) = &probe {
+                    p.borrow_mut().record(&key, g);
+                }
+                let gq = match scaling {
+                    ScalingMode::None | ScalingMode::LossScale(_) => fq_bwd.quantize(g),
+                    ScalingMode::PerTensorAmax { .. } => {
+                        // Delayed scaling: use the scale predicted from
+                        // history, then record this step's amax.
+                        let scale = tracker.borrow().scale_for(&key, bwd_fmt);
+                        let amax = g.amax();
+                        tracker.borrow_mut().record(&key, amax);
+                        fq_bwd.quantize_scaled(g, scale)
+                    }
+                };
+                vec![gq]
+            }),
+        )
+    }
+
+    /// Quantize a weight tensor entering a GEMM. Weights are always cut at
+    /// GEMM sites in an 8-bit scheme.
+    pub fn cut_weight(&self, tape: &mut Tape, w: Var, name: &str) -> Var {
+        self.cut(tape, w, OpClass::Gemm, name)
+    }
+
+    /// The scheme's softmax, recorded with its custom backward.
+    pub fn softmax(&self, tape: &mut Tape, scores: Var) -> Var {
+        self.softmax.apply(tape, scores)
+    }
+
+    /// `true` when constructed with [`QuantCtx::training`].
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+}
+
+impl core::fmt::Debug for QuantCtx {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("QuantCtx")
+            .field("scheme", &self.scheme)
+            .field("training", &self.training)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_quant::FusionLevel;
+    use qt_tensor::Tensor;
+
+    #[test]
+    fn cut_quantizes_forward_value() {
+        let ctx = QuantCtx::inference(QuantScheme::posit8());
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.03, 9999.0], &[2]), true);
+        let q = ctx.cut(&mut tape, x, OpClass::Gemm, "t");
+        assert_eq!(tape.value(q).data(), &[1.0, 4096.0]);
+    }
+
+    #[test]
+    fn fusion_skips_forward_quantization() {
+        let scheme = QuantScheme::posit8().with_fusion(FusionLevel::Residual);
+        let ctx = QuantCtx::inference(scheme);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.03], &[1]), true);
+        let q = ctx.cut(&mut tape, x, OpClass::Residual, "t");
+        assert_eq!(tape.value(q).data(), &[1.03]); // untouched
+        let g = ctx.cut(&mut tape, x, OpClass::Gemm, "t2");
+        assert_eq!(tape.value(g).data(), &[1.0]); // GEMM still quantized
+    }
+
+    #[test]
+    fn training_quantizes_gradients_with_scaling() {
+        let ctx = QuantCtx::training(QuantScheme::posit8());
+        let mut tape = Tape::new();
+        // gradient magnitude ~1e-5: underflows Posit8 without scaling
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]), true);
+        let q = ctx.cut(&mut tape, x, OpClass::Gemm, "t");
+        let s = tape.sum_all(q);
+        let tiny = tape.mul_scalar(s, 1e-5);
+        // First backward: no history → scale derived from amax=1 (64);
+        // 1e-5·64 ≈ 2^-10.6 sits at the very bottom of the posit range,
+        // so the gradient survives only coarsely (> 30% error).
+        let g1 = tape.backward(tiny);
+        let coarse = g1.get(x).unwrap().data()[0];
+        assert!(coarse > 0.0, "coarse grad lost entirely");
+        assert!(
+            (coarse - 1e-5).abs() / 1e-5 > 0.3,
+            "first step should be coarse, got {coarse}"
+        );
+        // History now knows amax=1e-5 → next step's scale rescues it.
+        let g2 = tape.backward(tiny);
+        let gx = g2.get(x).unwrap();
+        assert!(
+            (gx.data()[0] - 1e-5).abs() / 1e-5 < 0.05,
+            "rescued grad {:?}",
+            gx.data()
+        );
+    }
+
+    #[test]
+    fn identity_scheme_is_transparent() {
+        let ctx = QuantCtx::training(QuantScheme::fp32());
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.12345], &[1]), true);
+        let q = ctx.cut(&mut tape, x, OpClass::Gemm, "t");
+        assert_eq!(q, x); // no node inserted at all
+    }
+
+    #[test]
+    fn probe_records_pre_quant_stats() {
+        let probe = Rc::new(RefCell::new(ProbeStore::new()));
+        let ctx = QuantCtx::inference(QuantScheme::posit8()).with_probe(Rc::clone(&probe));
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![123456.0], &[1]), false);
+        let _ = ctx.cut(&mut tape, x, OpClass::Gemm, "site");
+        let p = probe.borrow();
+        let (name, stats) = &p.entries()[0];
+        assert_eq!(name, "site");
+        assert_eq!(stats.amax, 123456.0); // pre-quantization value
+    }
+}

@@ -1,0 +1,66 @@
+//! Sizing an edge accelerator (§7): compare the BF16 / Posit8 / FP8
+//! datapaths with the gate-level cost model, then run a Transformer
+//! layer's GEMMs through the cycle-level systolic simulator.
+//!
+//! ```bash
+//! cargo run --release -p qt-examples --bin accelerator_sizing
+//! ```
+
+use qt_accel::{Accelerator, Datapath, SynthesisPoint, SystolicSim, Tech40};
+
+fn main() {
+    let tech = Tech40::default();
+    let pt = SynthesisPoint::nominal();
+
+    println!("16x16 accelerators at 200 MHz, 0.9 V (40 nm model):");
+    for d in Datapath::ALL {
+        let r = Accelerator::new(16, d).synth(&tech, pt);
+        let t = r.total();
+        println!(
+            "  {:<11} array {:.2} mm² + vector {:.3} mm² + codecs {:.3} mm² + SRAM {:.2} mm² = {:.2} mm², {:.1} mW",
+            d.name(),
+            r.array.area_mm2,
+            r.vector.area_mm2,
+            r.codecs.area_mm2,
+            r.sram.area_mm2,
+            t.area_mm2,
+            t.power_mw
+        );
+    }
+
+    // One encoder layer's GEMMs at hidden=256, seq=128:
+    // QKV+output projections (4 of [128,256]x[256,256]) and an FFN
+    // ([128,256]x[256,1024], [128,1024]x[1024,256]).
+    println!("\ncycle-level simulation of one encoder layer (hidden 256, seq 128):");
+    for d in [Datapath::Bf16, Datapath::Posit8, Datapath::HybridFp8] {
+        let sim = SystolicSim::new(Accelerator::new(16, d));
+        let mut cycles = 0u64;
+        let mut sram = 0u64;
+        let mut energy = 0.0;
+        for (m, k, n) in [
+            (128, 256, 256),
+            (128, 256, 256),
+            (128, 256, 256),
+            (128, 256, 256),
+            (128, 256, 1024),
+            (128, 1024, 256),
+        ] {
+            let g = sim.gemm(m, k, n);
+            cycles += g.cycles;
+            sram += g.sram_read_bytes + g.sram_write_bytes;
+            energy += sim.gemm_energy_nj(&g, &tech, pt);
+        }
+        // softmax over 8 heads x 128x128 scores
+        let sm = sim.softmax_cycles(8 * 128, 128);
+        println!(
+            "  {:<11} GEMMs {:>8} cycles, softmax {:>6} cycles, SRAM {:>5.1} KiB, energy {:>7.1} nJ",
+            d.name(),
+            cycles,
+            sm,
+            sram as f64 / 1024.0,
+            energy
+        );
+    }
+    println!("\n(the Posit8 vector unit's single-cycle exp/recip make its softmax the fastest,");
+    println!(" and 8-bit operands halve SRAM traffic vs BF16)");
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the number-format stack (proptest).
+
+use proptest::prelude::*;
+use qt_posit::{Posit, UnderflowPolicy, P8E1, P8E2};
+use qt_quant::{ElemFormat, FakeQuant};
+use qt_softfloat::{Bf16, E4M3, E5M2};
+
+proptest! {
+    #[test]
+    fn posit_quantize_idempotent(x in -1e6f64..1e6) {
+        let q = P8E1::quantize(x);
+        prop_assert_eq!(P8E1::quantize(q), q);
+    }
+
+    #[test]
+    fn posit_quantize_monotone(a in -1e5f64..1e5, b in -1e5f64..1e5) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(P8E1::quantize(lo) <= P8E1::quantize(hi));
+    }
+
+    #[test]
+    fn posit_quantize_nearest(x in -5000f64..5000.0) {
+        // No representable value is closer than the chosen one.
+        let q = P8E1::quantize(x);
+        for p in P8E1::all_finite() {
+            let v = p.to_f64();
+            prop_assert!((x - q).abs() <= (x - v).abs() + 1e-12,
+                "x={} chose {} but {} is closer", x, q, v);
+        }
+    }
+
+    #[test]
+    fn posit_negation_symmetry(x in -4096f64..4096.0) {
+        prop_assert_eq!(P8E1::quantize(-x), -P8E1::quantize(x));
+    }
+
+    #[test]
+    fn minifloat_quantize_idempotent(x in -1e6f64..1e6) {
+        let q = E4M3::quantize(x);
+        prop_assert_eq!(E4M3::quantize(q), q);
+        let q = E5M2::quantize(x);
+        prop_assert_eq!(E5M2::quantize(q), q);
+    }
+
+    #[test]
+    fn bf16_roundtrip_monotone(a in -1e30f32..1e30, b in -1e30f32..1e30) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Bf16::quantize(lo) <= Bf16::quantize(hi));
+    }
+
+    #[test]
+    fn lut_quantizer_matches_direct(x in -1e7f64..1e7) {
+        for fmt in [ElemFormat::P8E1, ElemFormat::P8E2, ElemFormat::E4M3, ElemFormat::E5M2] {
+            for policy in [UnderflowPolicy::RoundTiesToZero, UnderflowPolicy::Standard] {
+                let fq = FakeQuant::with_policy(fmt, policy);
+                prop_assert_eq!(
+                    fq.quantize_scalar(x as f32),
+                    fmt.quantize_scalar_with(x as f32, policy),
+                    "{:?} {:?}", fmt, policy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_tapered_ulp(x in 0.001f64..4000.0) {
+        // Posit relative error is bounded by 2^-(frac_bits+1) of the binade.
+        let p = P8E1::from_f64(x);
+        let fb = p.fraction_bits();
+        let rel = ((p.to_f64() - x) / x).abs();
+        let bound = libm::exp2(-(fb as f64)) ; // one ULP of the significand
+        prop_assert!(rel <= bound, "x={} rel={} bound={}", x, rel, bound);
+    }
+
+    #[test]
+    fn wider_posit_is_at_least_as_accurate(x in -4000f64..4000.0) {
+        use qt_posit::P16E1;
+        let e8 = (P8E1::quantize(x) - x).abs();
+        let e16 = (P16E1::quantize(x) - x).abs();
+        prop_assert!(e16 <= e8 + 1e-12);
+    }
+
+    #[test]
+    fn quire_matches_exact_dot(xs in prop::collection::vec(-3f64..3.0, 1..24)) {
+        use qt_posit::{FusedDot, Quire};
+        let a: Vec<P8E1> = xs.iter().map(|&x| P8E1::from_f64(x)).collect();
+        let b: Vec<P8E1> = xs.iter().map(|&x| P8E1::from_f64(x * 0.5 - 0.1)).collect();
+        let exact: f64 = a.iter().zip(&b).map(|(p, q)| p.to_f64() * q.to_f64()).sum();
+        let mut quire = Quire::<8, 1>::new();
+        for (&p, &q) in a.iter().zip(&b) {
+            quire.add_product(p, q);
+        }
+        prop_assert!((quire.to_f64() - exact).abs() < 1e-9);
+        prop_assert_eq!(FusedDot::dot(&a, &b).bits(), P8E1::from_f64(exact).bits());
+    }
+
+    #[test]
+    fn p8e2_covers_wider_range(e in -23i32..23) {
+        let x = libm::exp2(e as f64);
+        let q2 = Posit::<8, 2>::quantize(x);
+        prop_assert!(q2 > 0.0, "P8E2 must represent 2^{}", e);
+        if !(-12..=12).contains(&e) {
+            // beyond P8E1's range, P8E2 is strictly more faithful
+            let q1 = P8E1::quantize(x);
+            prop_assert!((q2 - x).abs() <= (q1 - x).abs());
+        }
+    }
+}
+
+#[test]
+fn all_p8e2_values_roundtrip() {
+    for p in P8E2::all_finite() {
+        let v = p.to_f64();
+        assert_eq!(Posit::<8, 2>::from_f64(v).bits(), p.bits());
+    }
+}
