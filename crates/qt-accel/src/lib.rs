@@ -25,5 +25,5 @@ pub mod units;
 pub use accelerator::{Accelerator, AccelReport, Datapath};
 pub use cost::{AreaPower, SynthesisPoint, Tech40};
 pub use memory::{FinetuneMemoryModel, MemoryBreakdown};
-pub use sim::{GemmStats, SystolicSim, VectorOp, VectorStats};
+pub use sim::{GemmStats, SramFaultModel, SystolicSim, VectorOp, VectorStats};
 pub use units::{ExpUnit, ExpUnitKind, MacUnit, PositCodec, RecipUnit, RecipUnitKind, VectorUnit};

@@ -81,6 +81,46 @@ pub struct VectorStats {
     pub elements: u64,
 }
 
+/// Soft-error model over simulated SRAM traffic.
+///
+/// Deployed edge silicon holds weights and activations in on-chip SRAM
+/// for the lifetime of the model; single-event upsets flip stored bits
+/// at a rate conventionally expressed as a bit-error rate (BER) per bit
+/// accessed. This model converts the simulator's byte traffic into a
+/// deterministic flip budget, which a fault injector (see `qt-robust`)
+/// spends on the encoded tensors — tying the campaign's corruption level
+/// to the dataflow the hardware actually performs instead of an
+/// arbitrary knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramFaultModel {
+    /// Upset probability per bit accessed.
+    pub ber: f64,
+}
+
+impl SramFaultModel {
+    /// Model with the given bit-error rate per accessed bit.
+    pub fn new(ber: f64) -> Self {
+        Self { ber: ber.max(0.0) }
+    }
+
+    /// Expected number of bit flips across `bytes` of SRAM traffic.
+    pub fn expected_flips(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 * self.ber
+    }
+
+    /// Deterministic integer flip budget for `bytes` of traffic
+    /// (expectation rounded half-up, so a non-zero expectation ≥ 0.5
+    /// always injects at least one flip).
+    pub fn flip_budget(&self, bytes: u64) -> u64 {
+        (self.expected_flips(bytes) + 0.5) as u64
+    }
+
+    /// Flip budget for one simulated GEMM: reads + writes.
+    pub fn flip_budget_for_gemm(&self, stats: &GemmStats) -> u64 {
+        self.flip_budget(stats.sram_read_bytes + stats.sram_write_bytes)
+    }
+}
+
 /// Cycle-level simulator of an [`Accelerator`].
 #[derive(Debug, Clone, Copy)]
 pub struct SystolicSim {
@@ -213,6 +253,24 @@ mod tests {
         let v = sim(Datapath::Posit8).vector(VectorOp::Add, 20);
         // 20 elements over 8 lanes → 3 waves
         assert_eq!(v.cycles, 3);
+    }
+
+    #[test]
+    fn fault_model_budget_tracks_traffic() {
+        let m = SramFaultModel::new(1e-4);
+        let s = sim(Datapath::Posit8);
+        let small = s.gemm(16, 16, 16);
+        let big = s.gemm(64, 64, 64);
+        let b_small = m.flip_budget_for_gemm(&small);
+        let b_big = m.flip_budget_for_gemm(&big);
+        assert!(b_big > b_small);
+        // Exact expectation: bytes × 8 × BER, rounded half-up.
+        let bytes = big.sram_read_bytes + big.sram_write_bytes;
+        assert_eq!(b_big, (bytes as f64 * 8.0 * 1e-4 + 0.5) as u64);
+        // Zero BER → zero budget; BF16 moves more bytes → bigger budget.
+        assert_eq!(SramFaultModel::new(0.0).flip_budget_for_gemm(&big), 0);
+        let bf = sim(Datapath::Bf16).gemm(64, 64, 64);
+        assert!(m.flip_budget_for_gemm(&bf) > b_big);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! **Table 9**: fault-tolerance of 8-bit storage formats under SRAM
+//! bit flips — accuracy degradation and free detection rate per
+//! (format × flip-rate) cell of a seeded injection campaign.
+//!
+//! Weights are encoded into each format's stored codes, corrupted by a
+//! deterministic seeded injector, decoded, and the classifier re-scored
+//! under that format's inference scheme. The `SRAM flips` column ties the
+//! sweep to hardware reality: the exact flip budget the accelerator's
+//! soft-error model predicts for holding this model's weights at `--ber`.
+//!
+//! Extra flags beyond the shared harness (`--quick`, `--out`, `--seed`):
+//!
+//! * `--rates 1e-4,1e-3,1e-2` — per-bit flip probabilities to sweep
+//! * `--formats p8e0,p8e1,p8e2,e4m3,e5m2` — storage formats to sweep
+//! * `--trials N` — corruption trials averaged per cell
+//! * `--ber B` — SRAM bit-error rate for the traffic-derived budget column
+//!
+//! Identical seed and flags ⇒ identical table.
+
+use qt_accel::SramFaultModel;
+use qt_bench::{classify_task_for, pretrain_classify, Opts, Table};
+use qt_datagen::ClassifyKind;
+use qt_quant::{ElemFormat, QuantScheme};
+use qt_robust::{run_campaign, weight_traffic_budget, CampaignConfig, CodeFormat};
+use qt_train::evaluate_classify;
+use qt_transformer::{QuantCtx, TransformerConfig};
+
+fn parse_format(s: &str) -> Option<ElemFormat> {
+    match s.to_ascii_lowercase().as_str() {
+        "p8e0" => Some(ElemFormat::P8E0),
+        "p8e1" => Some(ElemFormat::P8E1),
+        "p8e2" => Some(ElemFormat::P8E2),
+        "p16e1" => Some(ElemFormat::P16E1),
+        "e4m3" => Some(ElemFormat::E4M3),
+        "e5m2" => Some(ElemFormat::E5M2),
+        "e5m3" => Some(ElemFormat::E5M3),
+        "bf16" => Some(ElemFormat::Bf16),
+        _ => None,
+    }
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let mut cfg = CampaignConfig::new(opts.seed);
+    if opts.quick {
+        cfg.trials = 1;
+    }
+    // Default BER is high for real silicon but sized to the sim-scale
+    // model so the budget column is non-degenerate; override with --ber.
+    let mut ber = 1e-4f64;
+
+    let mut it = opts.extra.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rates" => {
+                if let Some(v) = it.next() {
+                    cfg.flip_rates = v.split(',').filter_map(|x| x.parse().ok()).collect();
+                }
+            }
+            "--formats" => {
+                if let Some(v) = it.next() {
+                    cfg.formats = v.split(',').filter_map(parse_format).collect();
+                }
+            }
+            "--trials" => {
+                if let Some(v) = it.next() {
+                    cfg.trials = v.parse().unwrap_or(cfg.trials);
+                }
+            }
+            "--ber" => {
+                if let Some(v) = it.next() {
+                    ber = v.parse().unwrap_or(ber);
+                }
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    assert!(
+        !cfg.formats.is_empty() && !cfg.flip_rates.is_empty(),
+        "need at least one valid format and one flip rate \
+         (formats: p8e0 p8e1 p8e2 p16e1 e4m3 e5m2 e5m3 bf16)"
+    );
+    cfg.trials = cfg.trials.max(1);
+
+    let steps = opts.pick(600, 100);
+    let eval_n = opts.pick(256, 64);
+
+    let model_cfg = TransformerConfig::mobilebert_tiny_sim();
+    let task = classify_task_for(&model_cfg, ClassifyKind::Sst2);
+    eprintln!("[tab09] pretraining {}…", model_cfg.name);
+    let model = pretrain_classify(&model_cfg, &task, steps, opts.seed);
+    let eval_data = task.dataset(eval_n, opts.seed ^ 0x109);
+    let batches: Vec<_> = eval_data.chunks(16).map(|c| task.batch(c)).collect();
+
+    eprintln!(
+        "[tab09] campaign: {} formats × {} rates × {} trials, seed {}",
+        cfg.formats.len(),
+        cfg.flip_rates.len(),
+        cfg.trials,
+        cfg.seed
+    );
+    let cells = run_campaign(&cfg, &model, |m, fmt| {
+        let ctx = QuantCtx::inference(QuantScheme::uniform(fmt));
+        evaluate_classify(m, &ctx, &batches)
+    });
+
+    let fault = SramFaultModel::new(ber);
+    let mut table = Table::new(
+        "Table 9: weight bit-flip sensitivity (synthetic SST-2 accuracy %)",
+        &[
+            "Format",
+            "Flip rate",
+            "Baseline",
+            "Corrupted",
+            "Degraded",
+            "Detected",
+            "SRAM flips",
+        ],
+    );
+    for cell in &cells {
+        let budget = CodeFormat::new(cell.format)
+            .map(|codec| weight_traffic_budget(&model, codec, &fault))
+            .unwrap_or(0);
+        table.row(&[
+            format!("{:?}", cell.format),
+            format!("{:.0e}", cell.rate),
+            format!("{:.1}", cell.baseline),
+            format!("{:.1}", cell.corrupted),
+            format!("{:+.1}", -cell.degradation()),
+            format!("{:.0}%", 100.0 * cell.detection_rate()),
+            format!("{budget}"),
+        ]);
+    }
+
+    table.print();
+    table
+        .write_json(&opts.out_dir, "tab09_fault_tolerance")
+        .expect("write results");
+}

@@ -25,6 +25,9 @@ pub struct Opts {
     pub out_dir: std::path::PathBuf,
     /// Master seed (`--seed N`, default 42).
     pub seed: u64,
+    /// Arguments the shared parser did not recognise, in order — binaries
+    /// with extra flags (e.g. `tab09`'s campaign knobs) consume these.
+    pub extra: Vec<String>,
 }
 
 impl Opts {
@@ -33,6 +36,7 @@ impl Opts {
         let mut quick = false;
         let mut out_dir = std::path::PathBuf::from("results");
         let mut seed = 42u64;
+        let mut extra = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -47,13 +51,14 @@ impl Opts {
                         seed = s.parse().unwrap_or(42);
                     }
                 }
-                other => eprintln!("ignoring unknown argument {other:?}"),
+                _ => extra.push(a),
             }
         }
         Self {
             quick,
             out_dir,
             seed,
+            extra,
         }
     }
 

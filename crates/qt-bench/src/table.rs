@@ -83,9 +83,9 @@ impl Table {
     pub fn write_json(&self, dir: &Path, name: &str) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let value = serde_json::json!({
-            "title": self.title,
-            "header": self.header,
-            "rows": self.rows,
+            "title": self.title.clone(),
+            "header": self.header.clone(),
+            "rows": self.rows.clone(),
         });
         let mut f = std::fs::File::create(dir.join(format!("{name}.json")))?;
         writeln!(f, "{}", serde_json::to_string_pretty(&value).expect("serializable"))

@@ -479,6 +479,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::unusual_byte_groupings)] // grouped as sign_regime_exp_frac
     fn figure1_example() {
         // Figure 1: 8-bit posit, es=1, value 0.171875 = 1.011 * 4^-2 * 2^1.
         // sign 0, regime 001 (k=-2), exponent 1, fraction 011.

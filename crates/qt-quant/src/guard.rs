@@ -1,0 +1,181 @@
+//! Numerical guards for quantization: what to do with non-finite inputs,
+//! per-tensor health counters, and the typed error the guarded paths
+//! return.
+//!
+//! Fake quantization silently converts "out of range" into "wrong": a
+//! saturated activation or a flushed gradient looks like any other value
+//! downstream. On an edge device there is no debugger attached, so the
+//! quantizer itself has to keep the books — every cut counts how many
+//! elements saturated, underflowed to zero, or arrived/left non-finite,
+//! and [`NonFinitePolicy`] decides whether NaN/±∞ inputs propagate,
+//! clamp, zero, or abort.
+
+use std::fmt;
+
+/// What [`crate::FakeQuant`] does with a non-finite input (NaN or ±∞).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NonFinitePolicy {
+    /// Pass NaN through, saturate ±∞ (the seed behaviour; what real
+    /// hardware without an exception checker does).
+    #[default]
+    Propagate,
+    /// Clamp to the format's largest finite magnitude: ±∞ → ±max,
+    /// NaN → +max. Keeps the datapath finite at the cost of silently
+    /// injecting a large value.
+    Saturate,
+    /// Replace every non-finite input with 0 — the conservative choice
+    /// when a poisoned element should contribute nothing downstream.
+    Zero,
+    /// Refuse: the fallible quantization paths return
+    /// [`QuantError::NonFiniteInput`]. Infallible paths
+    /// ([`crate::FakeQuant::quantize`]) fall back to `Saturate` and count
+    /// the encounter, since they cannot report it.
+    Error,
+}
+
+/// Per-tensor numerical health of one quantization pass.
+///
+/// Accumulated by [`crate::FakeQuant::quantize_with_health`] and merged
+/// per cut site by the transformer's quantization context, so an
+/// inference run can report, per layer, how hard each tensor pressed
+/// against the format's range.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TensorHealth {
+    /// Elements examined.
+    pub elements: u64,
+    /// Finite inputs whose magnitude exceeded the format's maximum and
+    /// were clamped onto the grid edge.
+    pub saturated: u64,
+    /// Finite non-zero inputs that quantized to exactly zero (flushed).
+    pub underflowed: u64,
+    /// Inputs that were already NaN or ±∞ before quantization.
+    pub nonfinite_in: u64,
+    /// Outputs that left the quantizer non-finite (NaN/NaR propagated
+    /// through, or ±∞ emitted by a float format).
+    pub nonfinite_out: u64,
+}
+
+impl TensorHealth {
+    /// Fold another pass's counters into this one.
+    pub fn merge(&mut self, other: &TensorHealth) {
+        self.elements += other.elements;
+        self.saturated += other.saturated;
+        self.underflowed += other.underflowed;
+        self.nonfinite_in += other.nonfinite_in;
+        self.nonfinite_out += other.nonfinite_out;
+    }
+
+    /// Fraction of elements clamped at the range edge.
+    pub fn saturation_rate(&self) -> f64 {
+        self.rate(self.saturated)
+    }
+
+    /// Fraction of elements flushed to zero.
+    pub fn underflow_rate(&self) -> f64 {
+        self.rate(self.underflowed)
+    }
+
+    /// Fraction of inputs that were non-finite.
+    pub fn nonfinite_rate(&self) -> f64 {
+        self.rate(self.nonfinite_in)
+    }
+
+    /// `true` when every element passed through without saturation,
+    /// underflow, or a non-finite encounter.
+    pub fn is_clean(&self) -> bool {
+        self.saturated == 0
+            && self.underflowed == 0
+            && self.nonfinite_in == 0
+            && self.nonfinite_out == 0
+    }
+
+    fn rate(&self, n: u64) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            n as f64 / self.elements as f64
+        }
+    }
+}
+
+impl fmt::Display for TensorHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} elems: {:.3}% sat, {:.3}% uflow, {} NaN-in, {} NaN-out",
+            self.elements,
+            100.0 * self.saturation_rate(),
+            100.0 * self.underflow_rate(),
+            self.nonfinite_in,
+            self.nonfinite_out
+        )
+    }
+}
+
+/// Error from a guarded quantization path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// A non-finite element reached a quantizer whose policy is
+    /// [`NonFinitePolicy::Error`].
+    NonFiniteInput {
+        /// Flat index of the offending element.
+        index: usize,
+        /// The offending value (NaN or ±∞).
+        value: f32,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::NonFiniteInput { index, value } => write!(
+                f,
+                "non-finite input {value} at flat index {index} (policy = Error)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = TensorHealth {
+            elements: 10,
+            saturated: 1,
+            underflowed: 2,
+            nonfinite_in: 3,
+            nonfinite_out: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.elements, 20);
+        assert_eq!(a.saturated, 2);
+        assert_eq!(a.underflowed, 4);
+        assert_eq!(a.nonfinite_in, 6);
+        assert_eq!(a.nonfinite_out, 8);
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn rates_handle_empty() {
+        let h = TensorHealth::default();
+        assert_eq!(h.saturation_rate(), 0.0);
+        assert_eq!(h.underflow_rate(), 0.0);
+        assert_eq!(h.nonfinite_rate(), 0.0);
+        assert!(h.is_clean());
+    }
+
+    #[test]
+    fn error_displays_value_and_index() {
+        let e = QuantError::NonFiniteInput {
+            index: 7,
+            value: f32::NAN,
+        };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains("NaN"), "{s}");
+    }
+}

@@ -25,12 +25,14 @@
 
 mod format;
 mod fusion;
+mod guard;
 mod quantizer;
 mod scaling;
 mod scheme;
 
 pub use format::ElemFormat;
 pub use fusion::{FusionLevel, OpClass, OpSet};
+pub use guard::{NonFinitePolicy, QuantError, TensorHealth};
 pub use qt_posit::UnderflowPolicy;
 pub use quantizer::FakeQuant;
 pub use scaling::{AmaxTracker, ScalingMode};

@@ -2,6 +2,7 @@
 //! autograd op used during quantized training.
 
 use crate::format::ElemFormat;
+use crate::guard::{NonFinitePolicy, QuantError, TensorHealth};
 use qt_autograd::{Tape, Var};
 use qt_posit::UnderflowPolicy;
 use qt_tensor::Tensor;
@@ -30,6 +31,7 @@ use qt_tensor::Tensor;
 pub struct FakeQuant {
     format: ElemFormat,
     policy: UnderflowPolicy,
+    nonfinite: NonFinitePolicy,
     /// Sorted representable values (empty → identity/wide format).
     values: Vec<f32>,
     /// `bounds[i]` is the threshold between `values[i]` and `values[i+1]`:
@@ -48,6 +50,15 @@ impl FakeQuant {
     /// Quantizer with an explicit posit underflow policy (no effect on
     /// float formats).
     pub fn with_policy(format: ElemFormat, policy: UnderflowPolicy) -> Self {
+        Self::with_guard(format, policy, NonFinitePolicy::default())
+    }
+
+    /// Quantizer with explicit underflow and non-finite policies.
+    pub fn with_guard(
+        format: ElemFormat,
+        policy: UnderflowPolicy,
+        nonfinite: NonFinitePolicy,
+    ) -> Self {
         let values = format.finite_values();
         let mut bounds = Vec::new();
         let mut tie_up = Vec::new();
@@ -61,6 +72,7 @@ impl FakeQuant {
         Self {
             format,
             policy,
+            nonfinite,
             values,
             bounds,
             tie_up,
@@ -77,15 +89,43 @@ impl FakeQuant {
         self.policy
     }
 
+    /// The non-finite input policy in effect.
+    pub fn nonfinite_policy(&self) -> NonFinitePolicy {
+        self.nonfinite
+    }
+
+    /// Resolve a non-finite input according to [`NonFinitePolicy`].
+    /// Returns the value the quantizer should round instead, or `None`
+    /// when the input should flow through the normal path.
+    #[inline]
+    fn guard_nonfinite(&self, x: f32) -> Option<f32> {
+        if x.is_finite() {
+            return None;
+        }
+        let max = self.format.max_value() as f32;
+        match self.nonfinite {
+            // NaN passes; ±∞ falls through and saturates naturally.
+            NonFinitePolicy::Propagate => x.is_nan().then_some(f32::NAN),
+            // Error is handled by the fallible paths; here it degrades to
+            // Saturate so the infallible API stays total.
+            NonFinitePolicy::Saturate | NonFinitePolicy::Error => {
+                Some(if x == f32::NEG_INFINITY { -max } else { max })
+            }
+            NonFinitePolicy::Zero => Some(0.0),
+        }
+    }
+
     /// Quantize a single value.
     #[inline]
     pub fn quantize_scalar(&self, x: f32) -> f32 {
+        let x = match self.guard_nonfinite(x) {
+            Some(r) if r.is_nan() => return f32::NAN,
+            Some(r) => r,
+            None => x,
+        };
         if self.values.is_empty() {
             // Fp32 (identity) or Bf16 (cheap direct rounding).
             return self.format.quantize_scalar_with(x, self.policy);
-        }
-        if x.is_nan() {
-            return f32::NAN;
         }
         let n = self.values.len();
         // Binary search over decision boundaries: `b < x` puts an input
@@ -125,6 +165,67 @@ impl FakeQuant {
         }
         let inv = 1.0 / scale;
         t.map(|x| self.quantize_scalar(x * scale) * inv)
+    }
+
+    /// Classify one (pre-quantization, post-quantization) pair into the
+    /// health counters. `x` is the value actually rounded (after scaling).
+    #[inline]
+    fn classify(&self, x: f32, v: f32, health: &mut TensorHealth) {
+        health.elements += 1;
+        if !x.is_finite() {
+            health.nonfinite_in += 1;
+        } else if v == 0.0 && x != 0.0 {
+            health.underflowed += 1;
+        } else if (x.abs() as f64) > self.format.max_value() {
+            health.saturated += 1;
+        }
+        if !v.is_finite() {
+            health.nonfinite_out += 1;
+        }
+    }
+
+    /// Quantize every element and report the tensor's numerical health
+    /// (saturation / underflow / non-finite counters).
+    pub fn quantize_with_health(&self, t: &Tensor) -> (Tensor, TensorHealth) {
+        self.quantize_scaled_with_health(t, 1.0)
+    }
+
+    /// [`FakeQuant::quantize_scaled`] with health counters. Saturation and
+    /// underflow are judged on the *scaled* value — the one that actually
+    /// met the format's range.
+    pub fn quantize_scaled_with_health(&self, t: &Tensor, scale: f32) -> (Tensor, TensorHealth) {
+        let mut health = TensorHealth::default();
+        let inv = if scale == 1.0 { 1.0 } else { 1.0 / scale };
+        let mut data = Vec::with_capacity(t.data().len());
+        for &x in t.data() {
+            let xs = x * scale;
+            let v = self.quantize_scalar(xs);
+            self.classify(xs, v, &mut health);
+            data.push(v * inv);
+        }
+        (Tensor::from_vec(data, t.shape()), health)
+    }
+
+    /// Fallible quantization honouring [`NonFinitePolicy::Error`]: returns
+    /// [`QuantError::NonFiniteInput`] for the first NaN/±∞ element instead
+    /// of quantizing around it. Under every other policy this never fails.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::NonFiniteInput`] when the policy is `Error` and the
+    /// tensor contains a non-finite element.
+    pub fn try_quantize(&self, t: &Tensor) -> Result<(Tensor, TensorHealth), QuantError> {
+        if self.nonfinite == NonFinitePolicy::Error {
+            if let Some((index, &value)) = t
+                .data()
+                .iter()
+                .enumerate()
+                .find(|(_, x)| !x.is_finite())
+            {
+                return Err(QuantError::NonFiniteInput { index, value });
+            }
+        }
+        Ok(self.quantize_with_health(t))
     }
 
     /// Record a quantization on the tape with a straight-through estimator
@@ -247,5 +348,130 @@ mod tests {
     fn nan_propagates() {
         let q = FakeQuant::new(ElemFormat::E4M3);
         assert!(q.quantize_scalar(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn nonfinite_policy_saturate_and_zero() {
+        let t = Tensor::from_vec(
+            vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1.0],
+            &[4],
+        );
+        let sat = FakeQuant::with_guard(
+            ElemFormat::E4M3,
+            UnderflowPolicy::RoundTiesToZero,
+            NonFinitePolicy::Saturate,
+        );
+        assert_eq!(sat.quantize(&t).data(), &[448.0, 448.0, -448.0, 1.0]);
+        let zero = FakeQuant::with_guard(
+            ElemFormat::E4M3,
+            UnderflowPolicy::RoundTiesToZero,
+            NonFinitePolicy::Zero,
+        );
+        assert_eq!(zero.quantize(&t).data(), &[0.0, 0.0, 0.0, 1.0]);
+        // Default (Propagate): NaN passes, infinities saturate naturally.
+        let prop = FakeQuant::new(ElemFormat::E4M3);
+        let p = prop.quantize(&t);
+        assert!(p.data()[0].is_nan());
+        assert_eq!(&p.data()[1..], &[448.0, -448.0, 1.0]);
+    }
+
+    #[test]
+    fn error_policy_rejects_first_nonfinite() {
+        let q = FakeQuant::with_guard(
+            ElemFormat::P8E1,
+            UnderflowPolicy::RoundTiesToZero,
+            NonFinitePolicy::Error,
+        );
+        let t = Tensor::from_vec(vec![1.0, f32::NAN, f32::INFINITY], &[3]);
+        match q.try_quantize(&t) {
+            Err(QuantError::NonFiniteInput { index, value }) => {
+                assert_eq!(index, 1);
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NonFiniteInput, got {other:?}"),
+        }
+        // Clean tensors pass under Error policy.
+        let ok = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let (_, h) = q.try_quantize(&ok).unwrap();
+        assert!(h.is_clean());
+    }
+
+    #[test]
+    fn all_nan_tensor_under_each_policy() {
+        let t = Tensor::from_vec(vec![f32::NAN; 4], &[4]);
+        for (policy, expect) in [
+            (NonFinitePolicy::Saturate, Some(4096.0)),
+            (NonFinitePolicy::Zero, Some(0.0)),
+            (NonFinitePolicy::Propagate, None), // all NaN out
+        ] {
+            let q = FakeQuant::with_guard(
+                ElemFormat::P8E1,
+                UnderflowPolicy::RoundTiesToZero,
+                policy,
+            );
+            let (out, h) = q.quantize_with_health(&t);
+            assert_eq!(h.nonfinite_in, 4, "{policy:?}");
+            assert_eq!(h.nonfinite_rate(), 1.0);
+            match expect {
+                Some(v) => {
+                    assert!(out.data().iter().all(|&x| x == v), "{policy:?}");
+                    assert_eq!(h.nonfinite_out, 0);
+                }
+                None => {
+                    assert!(out.data().iter().all(|x| x.is_nan()), "{policy:?}");
+                    assert_eq!(h.nonfinite_out, 4);
+                }
+            }
+        }
+        let err = FakeQuant::with_guard(
+            ElemFormat::P8E1,
+            UnderflowPolicy::RoundTiesToZero,
+            NonFinitePolicy::Error,
+        );
+        assert!(err.try_quantize(&t).is_err());
+    }
+
+    #[test]
+    fn health_counts_saturation_and_underflow() {
+        let q = FakeQuant::new(ElemFormat::P8E1); // range [2^-12, 4096]
+        let t = Tensor::from_vec(vec![1e9, -1e9, 1e-9, 0.0, 1.0, f32::NAN], &[6]);
+        let (out, h) = q.quantize_with_health(&t);
+        assert_eq!(h.elements, 6);
+        assert_eq!(h.saturated, 2); // ±1e9 clamp to ±4096
+        assert_eq!(h.underflowed, 1); // 1e-9 flushes; exact 0 does not count
+        assert_eq!(h.nonfinite_in, 1);
+        assert_eq!(h.nonfinite_out, 1);
+        assert_eq!(out.data()[0], 4096.0);
+        assert_eq!(out.data()[3], 0.0);
+        assert!((h.saturation_rate() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_health_judges_scaled_values() {
+        // 1e-5 underflows unscaled; with a rescuing scale nothing flushes.
+        let q = FakeQuant::new(ElemFormat::P8E1);
+        let t = Tensor::from_vec(vec![1e-5, 2e-5], &[2]);
+        let (_, h0) = q.quantize_with_health(&t);
+        assert_eq!(h0.underflowed, 2);
+        let (_, h1) = q.quantize_scaled_with_health(&t, 64.0 / 2e-5);
+        assert!(h1.is_clean(), "{h1}");
+    }
+
+    #[test]
+    fn underflow_policy_at_exactly_half_minpos() {
+        // minpos/2 is the tie point: RoundTiesToZero flushes it, Standard
+        // never lets a non-zero input round to zero.
+        let minpos = ElemFormat::P8E1.min_positive() as f32;
+        let tie = 0.5 * minpos;
+        let rtz = FakeQuant::with_policy(ElemFormat::P8E1, UnderflowPolicy::RoundTiesToZero);
+        assert_eq!(rtz.quantize_scalar(tie), 0.0);
+        assert_eq!(rtz.quantize_scalar(-tie), 0.0);
+        let std = FakeQuant::with_policy(ElemFormat::P8E1, UnderflowPolicy::Standard);
+        assert_eq!(std.quantize_scalar(tie), minpos);
+        assert_eq!(std.quantize_scalar(-tie), -minpos);
+        // Just above the tie rounds to minpos under both policies.
+        let above = tie * 1.001;
+        assert_eq!(rtz.quantize_scalar(above), minpos);
+        assert_eq!(std.quantize_scalar(above), minpos);
     }
 }

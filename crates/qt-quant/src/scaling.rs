@@ -109,6 +109,23 @@ impl AmaxTracker {
         libm::ldexp(1.0, e.clamp(-126, 126)) as f32
     }
 
+    /// Forget one tensor's history (e.g. after a rollback invalidated it).
+    pub fn flush(&mut self, name: &str) {
+        self.history.remove(name);
+    }
+
+    /// Forget every tensor whose history window no longer predicts a
+    /// usable scale. With [`AmaxTracker::record`] rejecting non-finite
+    /// amaxes this is a belt-and-braces sweep used after a training
+    /// rollback: any entry that somehow went non-finite or non-positive
+    /// is dropped so the next scale is re-derived from scratch.
+    pub fn flush_poisoned(&mut self) -> usize {
+        let before = self.history.len();
+        self.history
+            .retain(|_, h| h.iter().all(|a| a.is_finite() && *a > 0.0));
+        before - self.history.len()
+    }
+
     /// Forget all history (e.g. between runs).
     pub fn reset(&mut self) {
         self.history.clear();
@@ -173,6 +190,39 @@ mod tests {
         assert_eq!(s, 64.0); // not 4096
         let s = AmaxTracker::scale_from_amax(1.0, ElemFormat::E5M2);
         assert_eq!(s, 32768.0); // 57344 rounded down to 2^15
+    }
+
+    #[test]
+    fn empty_history_uses_unit_amax() {
+        let tr = AmaxTracker::new(4);
+        assert_eq!(tr.predicted_amax("never-seen"), None);
+        // No history → scale derived from amax = 1.
+        assert_eq!(
+            tr.scale_for("never-seen", ElemFormat::P8E1),
+            AmaxTracker::scale_from_amax(1.0, ElemFormat::P8E1)
+        );
+    }
+
+    #[test]
+    fn flush_forgets_one_tensor() {
+        let mut tr = AmaxTracker::new(4);
+        tr.record("a", 2.0);
+        tr.record("b", 4.0);
+        tr.flush("a");
+        assert_eq!(tr.predicted_amax("a"), None);
+        assert_eq!(tr.predicted_amax("b"), Some(4.0));
+    }
+
+    #[test]
+    fn flush_poisoned_drops_bad_entries() {
+        let mut tr = AmaxTracker::new(4);
+        tr.record("good", 2.0);
+        // Poison the history behind record()'s guard to model corruption.
+        tr.history.insert("bad".into(), vec![1.0, f32::NAN]);
+        tr.history.insert("dead".into(), vec![0.0]);
+        assert_eq!(tr.flush_poisoned(), 2);
+        assert_eq!(tr.tracked(), 1);
+        assert_eq!(tr.predicted_amax("good"), Some(2.0));
     }
 
     #[test]

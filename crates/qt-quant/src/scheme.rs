@@ -4,6 +4,7 @@
 
 use crate::format::ElemFormat;
 use crate::fusion::{FusionLevel, OpSet};
+use crate::guard::NonFinitePolicy;
 use crate::scaling::ScalingMode;
 use qt_posit::approx::ExpApprox;
 use qt_posit::UnderflowPolicy;
@@ -63,6 +64,8 @@ pub struct QuantScheme {
     pub ops_override: Option<OpSet>,
     /// Posit underflow policy (§3.4).
     pub underflow: UnderflowPolicy,
+    /// What quantizers do with NaN/±∞ inputs.
+    pub nonfinite: NonFinitePolicy,
     /// Softmax implementation.
     pub softmax: SoftmaxKind,
     /// Gradient scaling during training (§5.1).
@@ -116,6 +119,7 @@ impl QuantScheme {
             fusion: FusionLevel::None,
             ops_override: None,
             underflow: UnderflowPolicy::RoundTiesToZero,
+            nonfinite: NonFinitePolicy::default(),
             softmax: SoftmaxKind::Exact,
             scaling: ScalingMode::default(),
         }
@@ -155,6 +159,12 @@ impl QuantScheme {
     /// Set the posit underflow policy.
     pub fn with_underflow(mut self, underflow: UnderflowPolicy) -> Self {
         self.underflow = underflow;
+        self
+    }
+
+    /// Set the non-finite input policy for both quantizers.
+    pub fn with_nonfinite(mut self, nonfinite: NonFinitePolicy) -> Self {
+        self.nonfinite = nonfinite;
         self
     }
 

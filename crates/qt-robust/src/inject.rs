@@ -1,0 +1,304 @@
+//! Deterministic, seeded bit-flip injection into 8-/16-bit element codes.
+//!
+//! Models SRAM soft errors in a deployed edge accelerator (paper §6's
+//! 40 nm device): each stored weight/activation word is a short bit code
+//! of the element format, and a single-event upset flips individual bits.
+//! The injector operates on the *encoded* representation — a flip lands
+//! in regime/exponent/fraction bits of a posit or the exponent/mantissa
+//! of an FP8 value, with wildly format-dependent consequences (that
+//! asymmetry is what the Table 9 campaign measures).
+
+use qt_posit::Posit;
+use qt_quant::ElemFormat;
+use qt_softfloat::{Bf16, E4M3, E5M2, E5M3};
+use qt_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Encode/decode between `f32` and a format's stored bit code.
+///
+/// This is the storage view of [`ElemFormat`]: `encode` rounds onto the
+/// grid and yields the word actually held in SRAM; `decode` is what the
+/// datapath reads back after a (possibly corrupted) fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeFormat {
+    format: ElemFormat,
+}
+
+impl CodeFormat {
+    /// Storage codec for a format.
+    ///
+    /// Every 8-, 9- and 16-bit format is supported; `Fp32` is not a
+    /// storage format in the accelerator and returns `None`.
+    pub fn new(format: ElemFormat) -> Option<Self> {
+        match format {
+            ElemFormat::Fp32 => None,
+            _ => Some(Self { format }),
+        }
+    }
+
+    /// The underlying element format.
+    pub fn format(self) -> ElemFormat {
+        self.format
+    }
+
+    /// Width of the stored code in bits.
+    pub fn bits(self) -> u32 {
+        self.format.bits()
+    }
+
+    /// Round to the grid and return the stored code.
+    pub fn encode(self, x: f32) -> u16 {
+        match self.format {
+            ElemFormat::Fp32 => unreachable!("Fp32 is not a storage format"),
+            ElemFormat::Bf16 => Bf16::from_f32(x).bits(),
+            ElemFormat::P8E0 => Posit::<8, 0>::from_f32(x).bits(),
+            ElemFormat::P8E1 => Posit::<8, 1>::from_f32(x).bits(),
+            ElemFormat::P8E2 => Posit::<8, 2>::from_f32(x).bits(),
+            ElemFormat::P16E1 => Posit::<16, 1>::from_f32(x).bits(),
+            ElemFormat::E4M3 => E4M3::from_f32(x).bits(),
+            ElemFormat::E5M2 => E5M2::from_f32(x).bits(),
+            ElemFormat::E5M3 => E5M3::from_f32(x).bits(),
+        }
+    }
+
+    /// Decode a stored code back to the value the datapath computes with.
+    /// Exception codes decode to NaN (posit NaR, FP8 NaN) or ±∞ (E5M2).
+    pub fn decode(self, code: u16) -> f32 {
+        match self.format {
+            ElemFormat::Fp32 => unreachable!("Fp32 is not a storage format"),
+            ElemFormat::Bf16 => Bf16::from_bits(code).to_f32(),
+            ElemFormat::P8E0 => Posit::<8, 0>::from_bits(code).to_f32(),
+            ElemFormat::P8E1 => Posit::<8, 1>::from_bits(code).to_f32(),
+            ElemFormat::P8E2 => Posit::<8, 2>::from_bits(code).to_f32(),
+            ElemFormat::P16E1 => Posit::<16, 1>::from_bits(code).to_f32(),
+            ElemFormat::E4M3 => E4M3::from_bits(code).to_f32(),
+            ElemFormat::E5M2 => E5M2::from_bits(code).to_f32(),
+            ElemFormat::E5M3 => E5M3::from_bits(code).to_f32(),
+        }
+    }
+
+    /// `true` when a decoded code is an exception value a cheap hardware
+    /// checker flags for free (NaR / NaN / ±∞).
+    pub fn is_detectable(self, code: u16) -> bool {
+        !self.decode(code).is_finite()
+    }
+}
+
+/// What one injection pass did to a buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionReport {
+    /// Words (elements) in the buffer.
+    pub elements: u64,
+    /// Individual bits flipped.
+    pub bits_flipped: u64,
+    /// Distinct words that received at least one flip.
+    pub words_hit: u64,
+    /// Corrupted words that decode to NaR/NaN/±∞ — the corruption a
+    /// zero-cost exception checker detects at read time.
+    pub detectable: u64,
+}
+
+impl InjectionReport {
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: &InjectionReport) {
+        self.elements += other.elements;
+        self.bits_flipped += other.bits_flipped;
+        self.words_hit += other.words_hit;
+        self.detectable += other.detectable;
+    }
+
+    /// Fraction of hit words that decode to an exception value.
+    pub fn detection_rate(&self) -> f64 {
+        if self.words_hit == 0 {
+            return 0.0;
+        }
+        self.detectable as f64 / self.words_hit as f64
+    }
+}
+
+/// Seeded bit-flip injector over encoded tensors.
+///
+/// Deterministic: the same seed and call sequence produce identical
+/// corruption, so campaigns are reproducible run-to-run.
+#[derive(Debug, Clone)]
+pub struct BitFlipInjector {
+    rng: StdRng,
+}
+
+impl BitFlipInjector {
+    /// Injector with an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Flip each bit of each code independently with probability `rate`.
+    pub fn corrupt_codes(&mut self, codes: &mut [u16], codec: CodeFormat, rate: f64) -> InjectionReport {
+        let bits = codec.bits();
+        let mut report = InjectionReport {
+            elements: codes.len() as u64,
+            ..Default::default()
+        };
+        for code in codes.iter_mut() {
+            let mut hit = false;
+            for b in 0..bits {
+                if self.rng.gen_bool(rate) {
+                    *code ^= 1 << b;
+                    report.bits_flipped += 1;
+                    hit = true;
+                }
+            }
+            if hit {
+                report.words_hit += 1;
+                if codec.is_detectable(*code) {
+                    report.detectable += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Flip exactly `n_flips` uniformly-chosen bits (with replacement
+    /// across draws, so a bit can flip back — matching independent upsets).
+    ///
+    /// Use this to apply a flip budget derived from simulated SRAM
+    /// traffic (see `qt_accel::SramFaultModel`).
+    pub fn corrupt_codes_exact(
+        &mut self,
+        codes: &mut [u16],
+        codec: CodeFormat,
+        n_flips: u64,
+    ) -> InjectionReport {
+        let bits = codec.bits() as usize;
+        let mut report = InjectionReport {
+            elements: codes.len() as u64,
+            bits_flipped: n_flips,
+            ..Default::default()
+        };
+        if codes.is_empty() {
+            report.bits_flipped = 0;
+            return report;
+        }
+        let mut hit = vec![false; codes.len()];
+        for _ in 0..n_flips {
+            let pos = self.rng.gen_range(0..codes.len() * bits);
+            let (word, bit) = (pos / bits, pos % bits);
+            codes[word] ^= 1 << bit;
+            hit[word] = true;
+        }
+        for (i, &h) in hit.iter().enumerate() {
+            if h {
+                report.words_hit += 1;
+                if codec.is_detectable(codes[i]) {
+                    report.detectable += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Encode a tensor into `codec`'s storage codes, flip bits at `rate`,
+    /// decode back. Returns the corrupted tensor and the report.
+    pub fn corrupt_tensor(
+        &mut self,
+        t: &Tensor,
+        codec: CodeFormat,
+        rate: f64,
+    ) -> (Tensor, InjectionReport) {
+        let mut codes: Vec<u16> = t.data().iter().map(|&x| codec.encode(x)).collect();
+        let report = self.corrupt_codes(&mut codes, codec, rate);
+        let data = codes.iter().map(|&c| codec.decode(c)).collect();
+        (Tensor::from_vec(data, t.shape()), report)
+    }
+
+    /// [`BitFlipInjector::corrupt_tensor`] with an exact flip budget.
+    pub fn corrupt_tensor_exact(
+        &mut self,
+        t: &Tensor,
+        codec: CodeFormat,
+        n_flips: u64,
+    ) -> (Tensor, InjectionReport) {
+        let mut codes: Vec<u16> = t.data().iter().map(|&x| codec.encode(x)).collect();
+        let report = self.corrupt_codes_exact(&mut codes, codec, n_flips);
+        let data = codes.iter().map(|&c| codec.decode(c)).collect();
+        (Tensor::from_vec(data, t.shape()), report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_without_faults() {
+        for fmt in [ElemFormat::P8E1, ElemFormat::E4M3, ElemFormat::E5M2] {
+            let codec = CodeFormat::new(fmt).unwrap();
+            for x in [0.0f32, 1.0, -2.5, 0.00042, 300.0] {
+                let grid = fmt.quantize_scalar(x);
+                assert_eq!(codec.decode(codec.encode(x)), grid, "{fmt:?} {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp32_is_not_a_storage_format() {
+        assert!(CodeFormat::new(ElemFormat::Fp32).is_none());
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let codec = CodeFormat::new(ElemFormat::P8E1).unwrap();
+        let t = Tensor::from_vec(vec![1.0, -0.5, 0.25], &[3]);
+        let mut inj = BitFlipInjector::new(1);
+        let (c, r) = inj.corrupt_tensor(&t, codec, 0.0);
+        assert_eq!(c.data(), &[1.0, -0.5, 0.25]);
+        assert_eq!(r.bits_flipped, 0);
+        assert_eq!(r.words_hit, 0);
+    }
+
+    #[test]
+    fn same_seed_same_corruption() {
+        let codec = CodeFormat::new(ElemFormat::E4M3).unwrap();
+        let t = Tensor::from_vec((0..256).map(|i| i as f32 * 0.1 - 12.0).collect(), &[256]);
+        let run = || {
+            let mut inj = BitFlipInjector::new(99);
+            inj.corrupt_tensor(&t, codec, 0.05)
+        };
+        let (a, ra) = run();
+        let (b, rb) = run();
+        assert_eq!(a.data(), b.data());
+        assert_eq!(ra, rb);
+        assert!(ra.bits_flipped > 0);
+    }
+
+    #[test]
+    fn exact_budget_counts() {
+        let codec = CodeFormat::new(ElemFormat::P8E1).unwrap();
+        let t = Tensor::ones(&[64]);
+        let mut inj = BitFlipInjector::new(7);
+        let (_, r) = inj.corrupt_tensor_exact(&t, codec, 10);
+        assert_eq!(r.bits_flipped, 10);
+        assert!(r.words_hit >= 1 && r.words_hit <= 10);
+    }
+
+    #[test]
+    fn posit_sign_bit_flip_of_zero_is_nar() {
+        // Flipping the MSB of the zero code (0x00) yields 0x80 = NaR: the
+        // single most damaging posit upset is also the most detectable.
+        let codec = CodeFormat::new(ElemFormat::P8E1).unwrap();
+        let code = codec.encode(0.0) ^ 0x80;
+        assert!(codec.is_detectable(code));
+        assert!(codec.decode(code).is_nan());
+    }
+
+    #[test]
+    fn e5m2_exponent_flip_can_reach_infinity() {
+        // 57344 (maxpos) with its top exponent bit pattern corrupted to
+        // all-ones exponent decodes to ±∞/NaN — detectable.
+        let codec = CodeFormat::new(ElemFormat::E5M2).unwrap();
+        let detectable = (0u16..256).any(|c| codec.is_detectable(c));
+        assert!(detectable);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fault injection for 8-bit inference (SRAM soft errors in edge silicon)
+//! and the campaign machinery measuring how each element format degrades
+//! and how much corruption the cheap numerical detectors catch.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod inject;
+
+pub use campaign::{
+    corrupt_model, corrupt_model_exact, run_campaign, weight_traffic_budget, CampaignCell,
+    CampaignConfig,
+};
+pub use inject::{BitFlipInjector, CodeFormat, InjectionReport};

@@ -95,14 +95,14 @@ mod tests {
                 .map(|i| decimal_accuracy_of_rounding(1.0 + i as f64 / 200.0, round))
                 .fold(f64::INFINITY, f64::min)
         };
-        let da_e4m3 = worst(|x| E4M3::quantize(x));
-        let da_e5m2 = worst(|x| E5M2::quantize(x));
+        let da_e4m3 = worst(E4M3::quantize);
+        let da_e5m2 = worst(E5M2::quantize);
         assert!(da_e4m3 > da_e5m2, "{da_e4m3} vs {da_e5m2}");
     }
 
     #[test]
     fn sweep_shape() {
-        let pts = accuracy_sweep(|x| E4M3::quantize(x), -6, 6, 4);
+        let pts = accuracy_sweep(E4M3::quantize, -6, 6, 4);
         assert_eq!(pts.len(), 12 * 4);
         // Inside the normal range accuracy is positive and roughly flat.
         for (x, da) in &pts {

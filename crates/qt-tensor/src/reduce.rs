@@ -243,7 +243,7 @@ mod tests {
     fn kahan_sum_precision() {
         // 1 + 1e-8 * 10^6 accumulated naively in f32 loses the tail.
         let mut v = vec![1.0f32];
-        v.extend(std::iter::repeat(1e-8).take(1_000_000));
+        v.extend(std::iter::repeat_n(1e-8, 1_000_000));
         let t = Tensor::from_vec(v, &[1_000_001]);
         assert!((t.sum_all() - 1.01).abs() < 1e-4, "{}", t.sum_all());
     }

@@ -1,0 +1,34 @@
+//! Typed errors for the training loop.
+
+use std::fmt;
+
+/// Error from a checked training step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// Too many consecutive steps were skipped for non-finite gradients
+    /// and no snapshot exists to roll back to — the run cannot make
+    /// progress.
+    Diverged {
+        /// Consecutive skipped steps at the time of the report.
+        consecutive_skips: usize,
+        /// The (unscaled) loss of the last step.
+        loss: f32,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Diverged {
+                consecutive_skips,
+                loss,
+            } => write!(
+                f,
+                "training diverged: {consecutive_skips} consecutive non-finite steps \
+                 (last loss {loss}) and no snapshot to roll back to"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}

@@ -5,14 +5,18 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod eval;
 pub mod metrics;
 pub mod optim;
+pub mod scaler;
 pub mod trainer;
 
+pub use error::TrainError;
 pub use eval::{
     evaluate_asr_wer, evaluate_classify, evaluate_lm_perplexity, evaluate_span_f1, greedy_decode,
 };
 pub use metrics::{accuracy, exact_match, span_f1, wer};
 pub use optim::{AdamW, Optimizer, Sgd};
+pub use scaler::LossScaler;
 pub use trainer::Trainer;

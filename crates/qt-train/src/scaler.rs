@@ -1,0 +1,158 @@
+//! AMP-style dynamic loss scaling.
+//!
+//! A static loss scale (§5.1) has to be guessed, and a wrong guess is
+//! fatal in both directions: too small and activation gradients underflow
+//! the 8-bit format, too large and the backward pass overflows to ±∞ and
+//! every step is skipped. The dynamic scaler starts high and lets the run
+//! find the ceiling itself: each overflow backs the scale off, and after
+//! a window of clean steps it grows back, tracking the largest scale the
+//! current loss landscape tolerates.
+
+/// Dynamic loss-scale state machine (the GradScaler recipe).
+#[derive(Debug, Clone)]
+pub struct LossScaler {
+    scale: f32,
+    growth_factor: f32,
+    backoff_factor: f32,
+    growth_interval: usize,
+    min_scale: f32,
+    max_scale: f32,
+    good_steps: usize,
+    overflows: usize,
+}
+
+impl LossScaler {
+    /// Scaler starting at `initial`, growing 2× after 64 clean steps and
+    /// halving on every overflow, bounded to `[1, 2^24]` by default.
+    pub fn new(initial: f32) -> Self {
+        Self {
+            scale: initial,
+            growth_factor: 2.0,
+            backoff_factor: 0.5,
+            growth_interval: 64,
+            min_scale: 1.0,
+            max_scale: f32::MAX,
+            good_steps: 0,
+            overflows: 0,
+        }
+    }
+
+    /// Override the growth factor and the number of consecutive clean
+    /// steps required before growing.
+    pub fn with_growth(mut self, factor: f32, interval: usize) -> Self {
+        self.growth_factor = factor.max(1.0);
+        self.growth_interval = interval.max(1);
+        self
+    }
+
+    /// Override the backoff factor applied on overflow (must be `< 1`).
+    pub fn with_backoff(mut self, factor: f32) -> Self {
+        self.backoff_factor = factor.clamp(f32::MIN_POSITIVE, 0.999_999);
+        self
+    }
+
+    /// Clamp every subsequent scale adjustment to `[min, max]`.
+    ///
+    /// The *initial* scale is deliberately left unclamped: the standard
+    /// warm-start is an initial scale far above the ceiling, which
+    /// overflows once and is pulled into range by the first backoff.
+    pub fn with_bounds(mut self, min: f32, max: f32) -> Self {
+        self.min_scale = min;
+        self.max_scale = max;
+        self
+    }
+
+    /// The scale to apply to the next step's loss.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Overflow events seen so far.
+    pub fn overflows(&self) -> usize {
+        self.overflows
+    }
+
+    /// Record a step whose gradients were finite. Grows the scale after
+    /// `growth_interval` consecutive clean steps.
+    pub fn on_clean_step(&mut self) {
+        self.good_steps += 1;
+        if self.good_steps >= self.growth_interval {
+            self.scale = (self.scale * self.growth_factor).min(self.max_scale);
+            self.good_steps = 0;
+        }
+    }
+
+    /// Record an overflow (non-finite loss or gradients): back the scale
+    /// off and restart the clean-step count. A non-finite scale (a
+    /// mis-specified `initial`, or state corrupted by fault injection) is
+    /// first pulled back to the finite ceiling so backoff can make
+    /// progress.
+    pub fn on_overflow(&mut self) {
+        let base = if self.scale.is_finite() {
+            self.scale
+        } else {
+            f32::MAX
+        };
+        self.scale = (base * self.backoff_factor).clamp(self.min_scale, self.max_scale);
+        self.good_steps = 0;
+        self.overflows += 1;
+    }
+}
+
+impl Default for LossScaler {
+    fn default() -> Self {
+        Self::new(65536.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_after_interval_of_clean_steps() {
+        let mut s = LossScaler::new(1024.0).with_growth(2.0, 4);
+        for _ in 0..3 {
+            s.on_clean_step();
+        }
+        assert_eq!(s.scale(), 1024.0);
+        s.on_clean_step();
+        assert_eq!(s.scale(), 2048.0);
+    }
+
+    #[test]
+    fn overflow_backs_off_and_resets_streak() {
+        let mut s = LossScaler::new(1024.0).with_growth(2.0, 2);
+        s.on_clean_step();
+        s.on_overflow();
+        assert_eq!(s.scale(), 512.0);
+        assert_eq!(s.overflows(), 1);
+        // The streak restarted: one clean step must not grow.
+        s.on_clean_step();
+        assert_eq!(s.scale(), 512.0);
+        s.on_clean_step();
+        assert_eq!(s.scale(), 1024.0);
+    }
+
+    #[test]
+    fn infinite_scale_recovers_on_first_overflow() {
+        let mut s = LossScaler::new(f32::INFINITY);
+        assert!(!s.scale().is_finite());
+        s.on_overflow();
+        assert!(s.scale().is_finite());
+        assert!(s.scale() > 0.0);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut s = LossScaler::new(4.0).with_bounds(2.0, 8.0).with_growth(2.0, 1);
+        s.on_overflow();
+        assert_eq!(s.scale(), 2.0);
+        s.on_overflow();
+        assert_eq!(s.scale(), 2.0); // clamped at min
+        for _ in 0..4 {
+            s.on_clean_step();
+        }
+        assert_eq!(s.scale(), 8.0); // clamped at max
+    }
+}

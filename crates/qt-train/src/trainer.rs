@@ -1,11 +1,26 @@
 //! The quantization-aware training loop.
 
+use crate::error::TrainError;
 use crate::optim::{clip_global_norm, Optimizer};
+use crate::scaler::LossScaler;
 use qt_autograd::{Tape, Var};
 use qt_quant::ScalingMode;
 use qt_tensor::Tensor;
-use qt_transformer::{Model, QuantCtx, TokenBatch, TrainMode};
+use qt_transformer::{Model, ParamStore, QuantCtx, TokenBatch, TrainMode};
+use qt_quant::AmaxTracker;
 use std::collections::BTreeMap;
+
+/// Consecutive skipped steps after which a checked step reports
+/// [`TrainError::Diverged`] when no rollback threshold is configured.
+const DEFAULT_DIVERGENCE_PATIENCE: usize = 16;
+
+/// A restorable point-in-time copy of the training state.
+struct Snapshot<O> {
+    params: ParamStore,
+    opt: O,
+    tracker: AmaxTracker,
+    steps: usize,
+}
 
 /// Drives quantized fine-tuning of a [`Model`].
 ///
@@ -15,6 +30,16 @@ use std::collections::BTreeMap;
 /// training "can sometimes lead to numerical instability and non-finite
 /// gradients" (paper artifact appendix), and skipping is the standard
 /// mitigation.
+///
+/// Two recovery mechanisms stack on top of skipping:
+///
+/// - [`Trainer::with_dynamic_scaling`] replaces the scheme's static loss
+///   scale with an AMP-style [`LossScaler`] that backs off on overflow and
+///   grows back after a window of clean steps;
+/// - [`Trainer::with_snapshots`] takes periodic copies of the parameters,
+///   optimizer state and amax history, and rolls back to the latest copy
+///   after K consecutive skipped steps — recovering runs whose state
+///   (not just whose gradients) has gone non-finite.
 pub struct Trainer<O: Optimizer> {
     /// The model being trained.
     pub model: Model,
@@ -28,9 +53,15 @@ pub struct Trainer<O: Optimizer> {
     pub clip_norm: Option<f32>,
     skipped: usize,
     steps: usize,
+    scaler: Option<LossScaler>,
+    snapshot_every: Option<usize>,
+    rollback_after: Option<usize>,
+    snapshot: Option<Snapshot<O>>,
+    consecutive_skips: usize,
+    rollbacks: usize,
 }
 
-impl<O: Optimizer> Trainer<O> {
+impl<O: Optimizer + Clone> Trainer<O> {
     /// Create a trainer.
     pub fn new(model: Model, qctx: QuantCtx, mode: TrainMode, opt: O) -> Self {
         Self {
@@ -41,7 +72,28 @@ impl<O: Optimizer> Trainer<O> {
             clip_norm: Some(1.0),
             skipped: 0,
             steps: 0,
+            scaler: None,
+            snapshot_every: None,
+            rollback_after: None,
+            snapshot: None,
+            consecutive_skips: 0,
+            rollbacks: 0,
         }
+    }
+
+    /// Replace the scheme's static loss scale with a dynamic scaler.
+    pub fn with_dynamic_scaling(mut self, scaler: LossScaler) -> Self {
+        self.scaler = Some(scaler);
+        self
+    }
+
+    /// Snapshot parameters + optimizer + amax history every `every`
+    /// applied steps, and roll back to the latest snapshot after
+    /// `rollback_after` consecutive skipped steps.
+    pub fn with_snapshots(mut self, every: usize, rollback_after: usize) -> Self {
+        self.snapshot_every = Some(every.max(1));
+        self.rollback_after = Some(rollback_after.max(1));
+        self
     }
 
     /// Number of optimizer steps applied.
@@ -54,12 +106,64 @@ impl<O: Optimizer> Trainer<O> {
         self.skipped
     }
 
+    /// Consecutive skipped steps since the last applied step or rollback.
+    pub fn consecutive_skips(&self) -> usize {
+        self.consecutive_skips
+    }
+
+    /// Number of snapshot rollbacks performed.
+    pub fn rollbacks(&self) -> usize {
+        self.rollbacks
+    }
+
+    /// The dynamic scaler, if one is attached.
+    pub fn scaler(&self) -> Option<&LossScaler> {
+        self.scaler.as_ref()
+    }
+
+    /// The loss scale the next step will apply (dynamic scaler if
+    /// attached, otherwise the scheme's static scale).
+    pub fn loss_scale(&self) -> f32 {
+        match &self.scaler {
+            Some(s) => s.scale(),
+            None => match self.qctx.scheme().scaling {
+                ScalingMode::LossScale(s) => s,
+                _ => 1.0,
+            },
+        }
+    }
+
     /// One step on a classification batch. Returns the (unscaled) loss.
     pub fn step_classify(&mut self, batch: &TokenBatch, labels: &[usize]) -> f32 {
         let labels = labels.to_vec();
         self.step_with(batch, None, move |tape, logits| {
             tape.cross_entropy(logits, &labels)
         })
+    }
+
+    /// [`Trainer::step_classify`] that reports divergence: returns
+    /// [`TrainError::Diverged`] once the run has skipped too many
+    /// consecutive steps with no snapshot available to roll back to.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Diverged`] when consecutive skips reach the rollback
+    /// threshold (or a default patience of 16 when none is configured)
+    /// and no snapshot exists.
+    pub fn step_classify_checked(
+        &mut self,
+        batch: &TokenBatch,
+        labels: &[usize],
+    ) -> Result<f32, TrainError> {
+        let loss = self.step_classify(batch, labels);
+        let patience = self.rollback_after.unwrap_or(DEFAULT_DIVERGENCE_PATIENCE);
+        if self.consecutive_skips >= patience && self.snapshot.is_none() {
+            return Err(TrainError::Diverged {
+                consecutive_skips: self.consecutive_skips,
+                loss,
+            });
+        }
+        Ok(loss)
     }
 
     /// One step on a span-extraction batch: the `[B, S, 2]` logits are
@@ -121,10 +225,7 @@ impl<O: Optimizer> Trainer<O> {
         let loss = build_loss(&mut tape, out.logits);
         let loss_value = tape.value(loss).data()[0];
 
-        let scale = match self.qctx.scheme().scaling {
-            ScalingMode::LossScale(s) => s,
-            _ => 1.0,
-        };
+        let scale = self.loss_scale();
         let scaled = if scale != 1.0 {
             tape.mul_scalar(loss, scale)
         } else {
@@ -149,7 +250,7 @@ impl<O: Optimizer> Trainer<O> {
             }
         }
         if !finite || !loss_value.is_finite() {
-            self.skipped += 1;
+            self.on_skipped_step();
             return loss_value;
         }
         if let Some(c) = self.clip_norm {
@@ -157,7 +258,51 @@ impl<O: Optimizer> Trainer<O> {
         }
         self.opt.step(&mut self.model.params, &named);
         self.steps += 1;
+        self.consecutive_skips = 0;
+        if let Some(sc) = &mut self.scaler {
+            sc.on_clean_step();
+        }
+        if let Some(every) = self.snapshot_every {
+            if self.steps.is_multiple_of(every) {
+                self.snapshot = Some(Snapshot {
+                    params: self.model.params.clone(),
+                    opt: self.opt.clone(),
+                    tracker: self.qctx.tracker().borrow().clone(),
+                    steps: self.steps,
+                });
+            }
+        }
         loss_value
+    }
+
+    /// Bookkeeping for a skipped (non-finite) step: back the dynamic
+    /// scale off, and roll back to the latest snapshot once the skip
+    /// streak reaches the configured threshold.
+    fn on_skipped_step(&mut self) {
+        self.skipped += 1;
+        self.consecutive_skips += 1;
+        if let Some(sc) = &mut self.scaler {
+            sc.on_overflow();
+        }
+        let threshold = match self.rollback_after {
+            Some(k) => k,
+            None => return,
+        };
+        if self.consecutive_skips < threshold {
+            return;
+        }
+        if let Some(snap) = &self.snapshot {
+            self.model.params = snap.params.clone();
+            self.opt = snap.opt.clone();
+            // Restore the amax history as of the snapshot and sweep out
+            // anything non-finite that slipped in before the guard.
+            let tracker = self.qctx.tracker();
+            *tracker.borrow_mut() = snap.tracker.clone();
+            tracker.borrow_mut().flush_poisoned();
+            self.steps = snap.steps;
+            self.consecutive_skips = 0;
+            self.rollbacks += 1;
+        }
     }
 }
 
@@ -243,6 +388,108 @@ mod tests {
         }
         let l2 = tr.step_span(&batch, &spans);
         assert!(l2 < l1, "{l1} -> {l2}");
+    }
+
+    #[test]
+    fn dynamic_scaling_recovers_where_static_scale_diverges() {
+        // Inject gradient overflow via an infinite loss scale: the
+        // backward pass seeds every gradient with ±∞/NaN and the step is
+        // skipped, deterministically.
+        let data_seed = 1;
+        let huge = f32::INFINITY;
+
+        // Regression baseline: with the static scale the run "diverges" —
+        // not a single optimizer step is ever applied.
+        let scheme = QuantScheme::fp32().with_scaling(ScalingMode::LossScale(huge));
+        let (mut tr, task) = tiny_classify_trainer(scheme);
+        let data = task.dataset(32, data_seed);
+        for chunk in data.chunks(16) {
+            let (batch, labels) = task.batch(chunk);
+            tr.step_classify(&batch, &labels);
+        }
+        assert_eq!(tr.steps(), 0, "static huge scale must skip everything");
+        assert!(tr.skipped() > 0);
+
+        // Same injected overflow, but with dynamic scaling: the scaler
+        // backs off until gradients are finite and the run completes.
+        let (tr2, task) = tiny_classify_trainer(QuantScheme::fp32());
+        let mut tr2 = tr2.with_dynamic_scaling(
+            LossScaler::new(huge).with_backoff(1.0 / 65536.0).with_growth(2.0, 8),
+        );
+        let data = task.dataset(32, data_seed);
+        let mut last = f32::NAN;
+        for _ in 0..4 {
+            for chunk in data.chunks(16) {
+                let (batch, labels) = task.batch(chunk);
+                last = tr2.step_classify(&batch, &labels);
+            }
+        }
+        assert!(tr2.skipped() > 0, "the overflow must actually trigger");
+        assert!(tr2.steps() > 0, "dynamic scaling must recover");
+        assert!(last.is_finite(), "run completes with a finite loss: {last}");
+        assert!(
+            tr2.scaler().unwrap().scale() < huge,
+            "scale backed off from the injected overflow"
+        );
+    }
+
+    #[test]
+    fn rollback_recovers_from_poisoned_parameters() {
+        let (tr, task) = tiny_classify_trainer(QuantScheme::fp32());
+        let mut tr = tr.with_snapshots(1, 3);
+        let data = task.dataset(16, 7);
+        let (batch, labels) = task.batch(&data);
+        for _ in 0..2 {
+            tr.step_classify(&batch, &labels);
+        }
+        assert_eq!(tr.steps(), 2);
+
+        // Simulate corrupted state (e.g. an undetected SRAM upset in the
+        // weight buffer): skipping alone can never heal NaN parameters.
+        tr.model.params.get_mut("head.cls.w").map_inplace(|_| f32::NAN);
+        for _ in 0..3 {
+            let l = tr.step_classify(&batch, &labels);
+            assert!(!l.is_finite());
+        }
+        assert_eq!(tr.rollbacks(), 1, "third consecutive skip rolls back");
+        assert!(
+            tr.model
+                .params
+                .get("head.cls.w")
+                .data()
+                .iter()
+                .all(|x| x.is_finite()),
+            "parameters restored from snapshot"
+        );
+        // Training proceeds normally after the rollback.
+        let before = tr.steps();
+        let l = tr.step_classify(&batch, &labels);
+        assert!(l.is_finite());
+        assert_eq!(tr.steps(), before + 1);
+        assert_eq!(tr.consecutive_skips(), 0);
+    }
+
+    #[test]
+    fn checked_step_reports_divergence_without_snapshots() {
+        let (mut tr, task) = tiny_classify_trainer(QuantScheme::fp32());
+        let data = task.dataset(16, 9);
+        let (batch, labels) = task.batch(&data);
+        tr.model.params.get_mut("head.cls.w").map_inplace(|_| f32::NAN);
+        let mut saw_diverged = false;
+        for _ in 0..20 {
+            match tr.step_classify_checked(&batch, &labels) {
+                Ok(l) => assert!(!l.is_finite()),
+                Err(TrainError::Diverged {
+                    consecutive_skips, ..
+                }) => {
+                    assert!(consecutive_skips >= 16);
+                    saw_diverged = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_diverged, "divergence must be reported");
+        assert_eq!(tr.steps(), 0);
     }
 
     #[test]

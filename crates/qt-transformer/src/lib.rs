@@ -33,4 +33,5 @@ pub use model::{Model, ModelOutput, TokenBatch, TrainMode};
 pub use params::ParamStore;
 pub use probe::ProbeStore;
 pub use qctx::QuantCtx;
+pub use qt_quant::{NonFinitePolicy, TensorHealth};
 pub use softmax::Softmax;

@@ -14,8 +14,11 @@
 use crate::probe::ProbeStore;
 use crate::softmax::Softmax;
 use qt_autograd::{Tape, Var};
-use qt_quant::{AmaxTracker, ElemFormat, FakeQuant, OpClass, QuantScheme, ScalingMode};
+use qt_quant::{
+    AmaxTracker, ElemFormat, FakeQuant, OpClass, QuantScheme, ScalingMode, TensorHealth,
+};
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Quantization context threaded through a model's forward pass.
@@ -26,6 +29,7 @@ pub struct QuantCtx {
     fq_bwd: Rc<FakeQuant>,
     softmax: Rc<Softmax>,
     tracker: Rc<RefCell<AmaxTracker>>,
+    health: Rc<RefCell<BTreeMap<String, TensorHealth>>>,
     probe: Option<Rc<RefCell<ProbeStore>>>,
     training: bool,
 }
@@ -49,10 +53,19 @@ impl QuantCtx {
         };
         Self {
             scheme,
-            fq_fwd: Rc::new(FakeQuant::with_policy(scheme.fwd, scheme.underflow)),
-            fq_bwd: Rc::new(FakeQuant::with_policy(scheme.bwd, scheme.underflow)),
+            fq_fwd: Rc::new(FakeQuant::with_guard(
+                scheme.fwd,
+                scheme.underflow,
+                scheme.nonfinite,
+            )),
+            fq_bwd: Rc::new(FakeQuant::with_guard(
+                scheme.bwd,
+                scheme.underflow,
+                scheme.nonfinite,
+            )),
             softmax: Rc::new(Softmax::new(scheme.softmax)),
             tracker: Rc::new(RefCell::new(AmaxTracker::new(history))),
+            health: Rc::new(RefCell::new(BTreeMap::new())),
             probe: None,
             training,
         }
@@ -79,6 +92,36 @@ impl QuantCtx {
         Rc::clone(&self.tracker)
     }
 
+    /// Per-cut numerical health accumulated since the last
+    /// [`QuantCtx::reset_health`], sorted by cut name. Forward cuts are
+    /// keyed by their site name, gradient cuts by `"<name>.grad"`.
+    pub fn health_report(&self) -> Vec<(String, TensorHealth)> {
+        self.health
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Health of one cut site, if it has run.
+    pub fn health_of(&self, name: &str) -> Option<TensorHealth> {
+        self.health.borrow().get(name).copied()
+    }
+
+    /// All health counters folded into one summary.
+    pub fn health_total(&self) -> TensorHealth {
+        let mut total = TensorHealth::default();
+        for h in self.health.borrow().values() {
+            total.merge(h);
+        }
+        total
+    }
+
+    /// Clear accumulated health counters (e.g. between batches).
+    pub fn reset_health(&self) {
+        self.health.borrow_mut().clear();
+    }
+
     /// Is this site quantized under the scheme?
     pub fn quantizes(&self, op: OpClass) -> bool {
         !matches!(self.scheme.fwd, ElemFormat::Fp32) && self.scheme.quantized_ops().contains(op)
@@ -98,12 +141,19 @@ impl QuantCtx {
             return x;
         }
         let fwd_value = if quantize_fwd {
-            self.fq_fwd.quantize(tape.value(x))
+            let (v, h) = self.fq_fwd.quantize_with_health(tape.value(x));
+            self.health
+                .borrow_mut()
+                .entry(name.to_string())
+                .or_default()
+                .merge(&h);
+            v
         } else {
             tape.value(x).clone()
         };
         let fq_bwd = Rc::clone(&self.fq_bwd);
         let tracker = Rc::clone(&self.tracker);
+        let health = Rc::clone(&self.health);
         let scaling = self.scheme.scaling;
         let bwd_fmt = self.scheme.bwd;
         let key = format!("{name}.grad");
@@ -118,17 +168,24 @@ impl QuantCtx {
                 if let Some(p) = &probe {
                     p.borrow_mut().record(&key, g);
                 }
-                let gq = match scaling {
-                    ScalingMode::None | ScalingMode::LossScale(_) => fq_bwd.quantize(g),
+                let (gq, h) = match scaling {
+                    ScalingMode::None | ScalingMode::LossScale(_) => {
+                        fq_bwd.quantize_with_health(g)
+                    }
                     ScalingMode::PerTensorAmax { .. } => {
                         // Delayed scaling: use the scale predicted from
                         // history, then record this step's amax.
                         let scale = tracker.borrow().scale_for(&key, bwd_fmt);
                         let amax = g.amax();
                         tracker.borrow_mut().record(&key, amax);
-                        fq_bwd.quantize_scaled(g, scale)
+                        fq_bwd.quantize_scaled_with_health(g, scale)
                     }
                 };
+                health
+                    .borrow_mut()
+                    .entry(key.clone())
+                    .or_default()
+                    .merge(&h);
                 vec![gq]
             }),
         )
@@ -223,6 +280,45 @@ mod tests {
         let x = tape.leaf(Tensor::from_vec(vec![0.12345], &[1]), true);
         let q = ctx.cut(&mut tape, x, OpClass::Gemm, "t");
         assert_eq!(q, x); // no node inserted at all
+    }
+
+    #[test]
+    fn cut_accumulates_health_per_site() {
+        let ctx = QuantCtx::inference(QuantScheme::posit8());
+        let mut tape = Tape::new();
+        // One saturating and one underflowing element at site "a"; a clean
+        // tensor at site "b".
+        let a = tape.leaf(Tensor::from_vec(vec![1e9, 1e-9, 1.0], &[3]), false);
+        let b = tape.leaf(Tensor::from_vec(vec![0.5, -0.25], &[2]), false);
+        let _ = ctx.cut(&mut tape, a, OpClass::Gemm, "a");
+        let _ = ctx.cut(&mut tape, b, OpClass::Gemm, "b");
+        let ha = ctx.health_of("a").unwrap();
+        assert_eq!(ha.elements, 3);
+        assert_eq!(ha.saturated, 1);
+        assert_eq!(ha.underflowed, 1);
+        let hb = ctx.health_of("b").unwrap();
+        assert!(hb.is_clean());
+        // Second pass over the same site accumulates.
+        let _ = ctx.cut(&mut tape, a, OpClass::Gemm, "a");
+        assert_eq!(ctx.health_of("a").unwrap().elements, 6);
+        let total = ctx.health_total();
+        assert_eq!(total.elements, 8);
+        assert_eq!(total.saturated, 2);
+        ctx.reset_health();
+        assert!(ctx.health_report().is_empty());
+    }
+
+    #[test]
+    fn gradient_cut_reports_health_under_grad_key() {
+        let ctx = QuantCtx::training(QuantScheme::posit8());
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]), true);
+        let q = ctx.cut(&mut tape, x, OpClass::Gemm, "t");
+        let s = tape.sum_all(q);
+        let _ = tape.backward(s);
+        let names: Vec<String> = ctx.health_report().into_iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"t".to_string()));
+        assert!(names.contains(&"t.grad".to_string()), "{names:?}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use qt_softfloat::{Bf16, E4M3, E5M2};
 
 fn main() {
     println!("— formats —");
-    for x in [0.1234f64, 1.0, 3.14159, 250.0, 5000.0, 1e-4] {
+    for x in [0.1234f64, 1.0, std::f64::consts::PI, 250.0, 5000.0, 1e-4] {
         println!(
             "x = {x:>10}: Posit(8,1) → {:<10} E4M3 → {:<8} E5M2 → {:<8} BF16 → {}",
             P8E1::quantize(x),

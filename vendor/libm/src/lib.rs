@@ -1,0 +1,172 @@
+//! Offline stand-in for the `libm` crate.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! provides the (small) subset of `libm` the workspace uses as thin
+//! wrappers over `std` float math. `std`'s implementations call the
+//! platform libm, so results match the real crate to the last ulp for
+//! every function used here.
+
+#![allow(missing_docs)]
+
+#![allow(clippy::all)]
+
+#[inline]
+pub fn ldexp(mut x: f64, n: i32) -> f64 {
+    // std has no ldexp; scale by exact powers of two, stepping in normal-
+    // range chunks so extreme exponents overflow/underflow like libm.
+    let mut n = n as i64;
+    while n > 1023 {
+        x *= pow2(1023);
+        n -= 1023;
+        if !x.is_finite() {
+            return x;
+        }
+    }
+    while n < -1074 {
+        x *= pow2(-1074);
+        n += 1074;
+        if x == 0.0 {
+            return x;
+        }
+    }
+    x * pow2(n as i32)
+}
+
+/// Exact power of two as f64 for exponents in the normal/subnormal range.
+#[inline]
+fn pow2(n: i32) -> f64 {
+    if n >= -1022 {
+        f64::from_bits(((n + 1023) as u64) << 52)
+    } else if n >= -1074 {
+        f64::from_bits(1u64 << (n + 1074))
+    } else if n > 1023 {
+        f64::INFINITY
+    } else {
+        0.0
+    }
+}
+
+#[inline]
+pub fn exp(x: f64) -> f64 {
+    x.exp()
+}
+
+#[inline]
+pub fn exp2(x: f64) -> f64 {
+    x.exp2()
+}
+
+#[inline]
+pub fn expf(x: f32) -> f32 {
+    x.exp()
+}
+
+#[inline]
+pub fn log(x: f64) -> f64 {
+    x.ln()
+}
+
+#[inline]
+pub fn logf(x: f32) -> f32 {
+    x.ln()
+}
+
+#[inline]
+pub fn log2(x: f64) -> f64 {
+    x.log2()
+}
+
+#[inline]
+pub fn log2f(x: f32) -> f32 {
+    x.log2()
+}
+
+#[inline]
+pub fn log10(x: f64) -> f64 {
+    x.log10()
+}
+
+#[inline]
+pub fn sqrt(x: f64) -> f64 {
+    x.sqrt()
+}
+
+#[inline]
+pub fn sqrtf(x: f32) -> f32 {
+    x.sqrt()
+}
+
+#[inline]
+pub fn floor(x: f64) -> f64 {
+    x.floor()
+}
+
+#[inline]
+pub fn floorf(x: f32) -> f32 {
+    x.floor()
+}
+
+#[inline]
+pub fn rint(x: f64) -> f64 {
+    // round-half-to-even, matching libm's rint under the default FP mode
+    let r = x.round();
+    if (x - x.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+        r - x.signum()
+    } else {
+        r
+    }
+}
+
+#[inline]
+pub fn sin(x: f64) -> f64 {
+    x.sin()
+}
+
+#[inline]
+pub fn cos(x: f64) -> f64 {
+    x.cos()
+}
+
+#[inline]
+pub fn tanhf(x: f32) -> f32 {
+    x.tanh()
+}
+
+#[inline]
+pub fn pow(x: f64, y: f64) -> f64 {
+    x.powf(y)
+}
+
+#[inline]
+pub fn powf(x: f32, y: f32) -> f32 {
+    x.powf(y)
+}
+
+#[inline]
+pub fn fabs(x: f64) -> f64 {
+    x.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ldexp_exact_powers() {
+        assert_eq!(ldexp(1.0, 12), 4096.0);
+        assert_eq!(ldexp(1.0, -12), 1.0 / 4096.0);
+        assert_eq!(ldexp(1.5, 1), 3.0);
+        assert_eq!(ldexp(1.0, -1074), f64::from_bits(1)); // smallest subnormal
+        assert_eq!(ldexp(1.0, -1075), 0.0);
+        assert_eq!(ldexp(1.0, 1024), f64::INFINITY);
+    }
+
+    #[test]
+    fn rint_ties_to_even() {
+        assert_eq!(rint(0.5), 0.0);
+        assert_eq!(rint(1.5), 2.0);
+        assert_eq!(rint(2.5), 2.0);
+        assert_eq!(rint(-0.5), 0.0);
+        assert_eq!(rint(1.2), 1.0);
+    }
+}

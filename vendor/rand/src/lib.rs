@@ -1,0 +1,303 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container cannot reach crates.io, so this crate implements
+//! the pieces of `rand` 0.8 the workspace actually uses: [`Rng`]
+//! (`gen`, `gen_range`, `gen_bool`), [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`], and [`seq::SliceRandom::shuffle`].
+//!
+//! `StdRng` here is xoshiro256** seeded via SplitMix64 — deterministic
+//! and stable across platforms, but **not** bit-compatible with upstream
+//! `StdRng` (ChaCha12). Every consumer in this workspace seeds explicitly
+//! with `seed_from_u64` and only relies on run-to-run determinism, which
+//! this preserves.
+
+#![allow(clippy::all)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full-state seed from one `u64`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value uniformly over `T`'s canonical distribution
+    /// (floats: `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.gen::<f64>()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types sampleable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random bits → [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+///
+/// Single blanket impls over [`SampleUniform`] (like upstream rand), so
+/// integer-literal ranges unify with the surrounding expression's type
+/// instead of falling back to `i32`.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+/// Element types with a uniform sampler.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "cannot sample empty range");
+                let v = (rng.next_u64() as u128 % span as u128) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                }
+                let u = <$t as Standard>::sample(rng);
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+
+float_uniform!(f32, f64);
+
+/// Named RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for upstream's
+    /// ChaCha12-based `StdRng`; same API, different stream).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_splitmix(mut seed: u64) -> Self {
+            let mut next = || {
+                seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            Self::from_splitmix(state)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling/choosing (subset of upstream `SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&x));
+            let n: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&n));
+            let u: usize = rng.gen_range(0..8);
+            assert!(u < 8);
+        }
+    }
+
+    #[test]
+    fn gen_bool_rates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..32).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, sorted); // astronomically unlikely to be identity
+    }
+}
