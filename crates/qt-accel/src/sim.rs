@@ -4,6 +4,7 @@
 
 use crate::accelerator::{Accelerator, Datapath};
 use crate::cost::{SynthesisPoint, Tech40};
+use qt_trace::{CycleModel, GemmCost, TraceHandle};
 
 /// Statistics of one simulated GEMM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -181,6 +182,44 @@ impl SystolicSim {
         max + exp + sum + recip + scale
     }
 
+    /// [`SystolicSim::gemm`] that also records the GEMM as a span on a
+    /// trace session, with its simulated cycle count as the duration.
+    pub fn gemm_traced(
+        &self,
+        trace: &TraceHandle,
+        site: &str,
+        m: u64,
+        k: u64,
+        n: u64,
+    ) -> GemmStats {
+        let stats = self.gemm(m, k, n);
+        trace.borrow_mut().gemm(
+            site,
+            [m, k, n],
+            GemmCost {
+                cycles: stats.cycles,
+                macs: stats.macs,
+                active_cycles: stats.active_cycles,
+                sram_bytes: stats.sram_read_bytes + stats.sram_write_bytes,
+            },
+        );
+        stats
+    }
+
+    /// [`SystolicSim::vector`] that also records the work as a
+    /// vector-unit span on a trace session.
+    pub fn vector_traced(
+        &self,
+        trace: &TraceHandle,
+        site: &str,
+        op: VectorOp,
+        len: u64,
+    ) -> VectorStats {
+        let stats = self.vector(op, len);
+        trace.borrow_mut().vector(site, stats.cycles, stats.elements);
+        stats
+    }
+
     /// Energy (nJ) of a GEMM at an operating point: cycles × array power,
     /// plus SRAM access energy.
     pub fn gemm_energy_nj(
@@ -196,6 +235,25 @@ impl SystolicSim {
         let traffic =
             (stats.sram_read_bytes + stats.sram_write_bytes) as f64 / 8.0 * 0.02;
         compute + traffic
+    }
+}
+
+/// The simulator *is* the cycle-cost oracle the tracing layer consults:
+/// attach one to a `QuantCtx` via `with_cycle_model` and every GEMM /
+/// softmax span in the model carries this hardware's simulated cycles.
+impl CycleModel for SystolicSim {
+    fn gemm_cost(&self, m: u64, k: u64, n: u64) -> GemmCost {
+        let s = self.gemm(m, k, n);
+        GemmCost {
+            cycles: s.cycles,
+            macs: s.macs,
+            active_cycles: s.active_cycles,
+            sram_bytes: s.sram_read_bytes + s.sram_write_bytes,
+        }
+    }
+
+    fn softmax_cycles(&self, rows: u64, width: u64) -> u64 {
+        SystolicSim::softmax_cycles(self, rows, width)
     }
 }
 
@@ -271,6 +329,36 @@ mod tests {
         assert_eq!(SramFaultModel::new(0.0).flip_budget_for_gemm(&big), 0);
         let bf = sim(Datapath::Bf16).gemm(64, 64, 64);
         assert!(m.flip_budget_for_gemm(&bf) > b_big);
+    }
+
+    #[test]
+    fn cycle_model_matches_inherent_sim() {
+        let s = sim(Datapath::Posit8);
+        let cm: &dyn CycleModel = &s;
+        let cost = cm.gemm_cost(16, 32, 24);
+        let stats = s.gemm(16, 32, 24);
+        assert_eq!(cost.cycles, stats.cycles);
+        assert_eq!(cost.macs, stats.macs);
+        assert_eq!(cost.active_cycles, stats.active_cycles);
+        assert_eq!(
+            cost.sram_bytes,
+            stats.sram_read_bytes + stats.sram_write_bytes
+        );
+        assert_eq!(cm.softmax_cycles(64, 64), s.softmax_cycles(64, 64));
+    }
+
+    #[test]
+    fn traced_helpers_record_spans() {
+        use qt_trace::TraceSession;
+        let s = sim(Datapath::Posit8);
+        let trace = TraceSession::new("sim").handle();
+        let g = s.gemm_traced(&trace, "g", 16, 16, 16);
+        let v = s.vector_traced(&trace, "v", VectorOp::Exp, 128);
+        let sess = trace.borrow();
+        assert_eq!(sess.gemm_sites()["g"].cycles, g.cycles);
+        assert!((sess.gemm_sites()["g"].utilization() - g.utilization()).abs() < 1e-12);
+        assert_eq!(sess.vector_sites()["v"].cycles, v.cycles);
+        assert_eq!(sess.vector_sites()["v"].elements, 128);
     }
 
     #[test]

@@ -45,6 +45,7 @@ fn main() {
             ft_steps,
             2e-3,
             opts.seed,
+            None,
         );
         let eval = task.dataset(eval_n, opts.seed ^ 0xEEE);
         let batches: Vec<_> = eval.chunks(32).map(|c| task.batch(c)).collect();
@@ -60,6 +61,7 @@ fn main() {
             ft_steps,
             2e-3,
             opts.seed,
+            None,
         );
         let eval = task.dataset(eval_n, opts.seed ^ 0xEEE);
         let batches: Vec<_> = eval.chunks(32).map(|c| task.batch(c)).collect();

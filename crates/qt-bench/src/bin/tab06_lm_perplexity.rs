@@ -5,16 +5,19 @@
 //! Reproduction target: smaller models are more quantization-sensitive;
 //! the larger "LLaMA" models stay near the BF16 perplexity in every format.
 
-use qt_bench::{pretrain_lm, Opts, Table};
+use qt_accel::{Accelerator, SystolicSim};
+use qt_bench::{datapath_for, pretrain_lm, Opts, Table};
 use qt_datagen::LmTask;
 use qt_quant::{ElemFormat, FusionLevel, QuantScheme};
 use qt_train::evaluate_lm_perplexity;
 use qt_transformer::{QuantCtx, TransformerConfig};
+use std::rc::Rc;
 
 fn main() {
     let opts = Opts::parse();
     let steps = opts.pick(600, 100);
     let eval_rows = opts.pick(64, 16);
+    let trace = opts.open_trace("tab06_lm_perplexity");
 
     let mut table = Table::new(
         "Table 6: perplexity on the synthetic Markov language vs fusion level",
@@ -35,14 +38,31 @@ fn main() {
         let model = pretrain_lm(&cfg, &task, steps, opts.seed);
         let eval_data = task.dataset(eval_rows, opts.seed ^ 0xEEE);
         let batches: Vec<_> = eval_data.chunks(8).map(|c| task.batch(c)).collect();
-        let ppl = |scheme: QuantScheme| {
-            evaluate_lm_perplexity(&model, &QuantCtx::inference(scheme), &batches)
+        // Each evaluation gets the cycle model of the datapath its format
+        // runs on, and is wrapped in a top-level span so the trace nests
+        // eval → block → GEMM.
+        let ppl = |scheme: QuantScheme, label: &str| {
+            let mut qctx = QuantCtx::inference(scheme);
+            let span = trace.as_ref().map(|t| {
+                let sim = SystolicSim::new(Accelerator::new(8, datapath_for(scheme.fwd)));
+                qctx = qctx
+                    .clone()
+                    .with_trace(Rc::clone(t))
+                    .with_cycle_model(Rc::new(sim));
+                t.borrow_mut().begin(label, "eval")
+            });
+            let p = evaluate_lm_perplexity(&model, &qctx, &batches);
+            if let (Some(t), Some(span)) = (&trace, span) {
+                t.borrow_mut().end(span);
+            }
+            p
         };
-        let bf16 = ppl(QuantScheme::bf16());
+        let bf16 = ppl(QuantScheme::bf16(), &format!("{}.BF16", cfg.name));
         for fmt in [ElemFormat::P8E1, ElemFormat::P8E2, ElemFormat::E4M3] {
             let mut cells = vec![cfg.name.to_string(), fmt.name().to_string(), format!("{bf16:.2}")];
             for level in FusionLevel::ALL {
-                let p = ppl(QuantScheme::uniform(fmt).with_fusion(level));
+                let label = format!("{}.{}.{:?}", cfg.name, fmt.name(), level);
+                let p = ppl(QuantScheme::uniform(fmt).with_fusion(level), &label);
                 cells.push(format!("{p:.2}"));
             }
             table.row(&cells);
@@ -53,4 +73,5 @@ fn main() {
     table
         .write_json(&opts.out_dir, "tab06_lm_perplexity")
         .expect("write results");
+    opts.close_trace(trace);
 }

@@ -23,6 +23,7 @@ fn main() {
     let pre_steps = opts.pick(400, 80);
     let ft_steps = opts.pick(150, 40);
     let eval_n = opts.pick(256, 64);
+    let trace = opts.open_trace("tab07_lora_finetune");
 
     let methods: [(&str, Option<QuantScheme>); 5] = [
         ("Full Training FP32", None),
@@ -76,6 +77,7 @@ fn main() {
                             ft_steps,
                             2e-3,
                             opts.seed ^ mi as u64,
+                            trace.as_ref(),
                         ),
                         qt_transformer::TrainMode::Lora,
                     ),
@@ -99,6 +101,7 @@ fn main() {
                     ft_steps,
                     2e-3,
                     opts.seed ^ mi as u64,
+                    trace.as_ref(),
                 ),
             };
             let eval = span_task.dataset(eval_n, opts.seed ^ 0xEEE);
@@ -122,4 +125,5 @@ fn main() {
     table
         .write_json(&opts.out_dir, "tab07_lora_finetune")
         .expect("write results");
+    opts.close_trace(trace);
 }

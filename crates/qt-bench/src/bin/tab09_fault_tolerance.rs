@@ -14,11 +14,12 @@
 //! * `--formats p8e0,p8e1,p8e2,e4m3,e5m2` — storage formats to sweep
 //! * `--trials N` — corruption trials averaged per cell
 //! * `--ber B` — SRAM bit-error rate for the traffic-derived budget column
+//! * `--json PATH` — also write the table's JSON form to an explicit path
 //!
 //! Identical seed and flags ⇒ identical table.
 
-use qt_accel::SramFaultModel;
-use qt_bench::{classify_task_for, pretrain_classify, Opts, Table};
+use qt_accel::{Accelerator, SramFaultModel, SystolicSim};
+use qt_bench::{classify_task_for, datapath_for, pretrain_classify, Opts, Table};
 use qt_datagen::ClassifyKind;
 use qt_quant::{ElemFormat, QuantScheme};
 use qt_robust::{run_campaign, weight_traffic_budget, CampaignConfig, CodeFormat};
@@ -48,10 +49,12 @@ fn main() {
     // Default BER is high for real silicon but sized to the sim-scale
     // model so the budget column is non-degenerate; override with --ber.
     let mut ber = 1e-4f64;
+    let mut json_out: Option<std::path::PathBuf> = None;
 
     let mut it = opts.extra.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--json" => json_out = it.next().map(Into::into),
             "--rates" => {
                 if let Some(v) = it.next() {
                     cfg.flip_rates = v.split(',').filter_map(|x| x.parse().ok()).collect();
@@ -84,6 +87,7 @@ fn main() {
 
     let steps = opts.pick(600, 100);
     let eval_n = opts.pick(256, 64);
+    let trace = opts.open_trace("tab09_fault_tolerance");
 
     let model_cfg = TransformerConfig::mobilebert_tiny_sim();
     let task = classify_task_for(&model_cfg, ClassifyKind::Sst2);
@@ -100,7 +104,13 @@ fn main() {
         cfg.seed
     );
     let cells = run_campaign(&cfg, &model, |m, fmt| {
-        let ctx = QuantCtx::inference(QuantScheme::uniform(fmt));
+        let mut ctx = QuantCtx::inference(QuantScheme::uniform(fmt));
+        if let Some(t) = &trace {
+            let sim = SystolicSim::new(Accelerator::new(8, datapath_for(fmt)));
+            ctx = ctx
+                .with_trace(std::rc::Rc::clone(t))
+                .with_cycle_model(std::rc::Rc::new(sim));
+        }
         evaluate_classify(m, &ctx, &batches)
     });
 
@@ -136,4 +146,9 @@ fn main() {
     table
         .write_json(&opts.out_dir, "tab09_fault_tolerance")
         .expect("write results");
+    if let Some(path) = &json_out {
+        table.write_json_to(path).expect("write --json output");
+        eprintln!("[tab09] wrote {}", path.display());
+    }
+    opts.close_trace(trace);
 }

@@ -16,6 +16,19 @@ pub mod table;
 pub use prep::*;
 pub use table::Table;
 
+use qt_trace::{RunManifest, TraceHandle, TraceSession};
+
+/// The accelerator datapath an element format would run on — used by
+/// the binaries to pick the cycle model matching each evaluated scheme.
+pub fn datapath_for(fmt: qt_quant::ElemFormat) -> qt_accel::Datapath {
+    use qt_quant::ElemFormat as F;
+    match fmt {
+        F::P8E0 | F::P8E1 | F::P8E2 | F::P16E1 => qt_accel::Datapath::Posit8,
+        F::E4M3 | F::E5M2 | F::E5M3 => qt_accel::Datapath::HybridFp8,
+        F::Fp32 | F::Bf16 => qt_accel::Datapath::Bf16,
+    }
+}
+
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone)]
 pub struct Opts {
@@ -25,6 +38,11 @@ pub struct Opts {
     pub out_dir: std::path::PathBuf,
     /// Master seed (`--seed N`, default 42).
     pub seed: u64,
+    /// Chrome `trace_event` output path (`--trace-out PATH`); a JSONL
+    /// event stream lands next to it with the extension `jsonl`.
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Deterministic run-manifest output path (`--manifest-out PATH`).
+    pub manifest_out: Option<std::path::PathBuf>,
     /// Arguments the shared parser did not recognise, in order — binaries
     /// with extra flags (e.g. `tab09`'s campaign knobs) consume these.
     pub extra: Vec<String>,
@@ -36,6 +54,8 @@ impl Opts {
         let mut quick = false;
         let mut out_dir = std::path::PathBuf::from("results");
         let mut seed = 42u64;
+        let mut trace_out = None;
+        let mut manifest_out = None;
         let mut extra = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -51,6 +71,8 @@ impl Opts {
                         seed = s.parse().unwrap_or(42);
                     }
                 }
+                "--trace-out" => trace_out = args.next().map(Into::into),
+                "--manifest-out" => manifest_out = args.next().map(Into::into),
                 _ => extra.push(a),
             }
         }
@@ -58,6 +80,8 @@ impl Opts {
             quick,
             out_dir,
             seed,
+            trace_out,
+            manifest_out,
             extra,
         }
     }
@@ -69,5 +93,46 @@ impl Opts {
         } else {
             full
         }
+    }
+
+    /// Open a trace session named after the binary when `--trace-out` or
+    /// `--manifest-out` was given, annotated with the run's seed and
+    /// mode; `None` otherwise (the hot path stays untraced).
+    pub fn open_trace(&self, bin: &str) -> Option<TraceHandle> {
+        if self.trace_out.is_none() && self.manifest_out.is_none() {
+            return None;
+        }
+        let mut session = TraceSession::new(bin);
+        session.set_meta("bin", bin);
+        session.set_meta("seed", self.seed.to_string());
+        session.set_meta("mode", if self.quick { "quick" } else { "full" });
+        Some(session.handle())
+    }
+
+    /// Write every requested telemetry artifact from a finished session:
+    /// the Chrome trace (plus a JSONL sibling) for `--trace-out`, the
+    /// deterministic manifest for `--manifest-out`, and a top-10 cycle /
+    /// saturation report to stderr.
+    pub fn close_trace(&self, trace: Option<TraceHandle>) {
+        let Some(trace) = trace else { return };
+        let session = trace.borrow();
+        if let Some(path) = &self.trace_out {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            std::fs::write(path, qt_trace::chrome_trace(&session))
+                .unwrap_or_else(|e| eprintln!("trace-out {}: {e}", path.display()));
+            let jsonl = path.with_extension("jsonl");
+            std::fs::write(&jsonl, qt_trace::jsonl(&session))
+                .unwrap_or_else(|e| eprintln!("trace-out {}: {e}", jsonl.display()));
+        }
+        if let Some(path) = &self.manifest_out {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            std::fs::write(path, RunManifest::render(&session))
+                .unwrap_or_else(|e| eprintln!("manifest-out {}: {e}", path.display()));
+        }
+        eprintln!("{}", qt_trace::trace_report(&session, 10));
     }
 }

@@ -6,11 +6,13 @@
 
 use qt_datagen::{AsrTask, ClassifyKind, ClassifyTask, LmTask, SpanTask};
 use qt_quant::QuantScheme;
+use qt_trace::TraceHandle;
 use qt_train::{AdamW, Trainer};
 use qt_transformer::{
     LoraConfig, Model, QuantCtx, TaskHead, TrainMode, TransformerConfig,
 };
 use rand::{rngs::StdRng, SeedableRng};
+use std::rc::Rc;
 
 /// Pre-train a span-extraction model (SQuAD analogue) in FP32.
 pub fn pretrain_span(
@@ -100,7 +102,8 @@ pub fn pretrain_seq2seq(
 }
 
 /// Fine-tune a pretrained model with LoRA under a scheme; the head is
-/// re-initialised. Returns the adapted model.
+/// re-initialised. Returns the adapted model. With `trace`, the run's
+/// steps, losses and scaler history land on that session.
 #[allow(clippy::too_many_arguments)]
 pub fn lora_finetune_classify(
     pretrained: &Model,
@@ -110,16 +113,16 @@ pub fn lora_finetune_classify(
     steps: usize,
     lr: f32,
     seed: u64,
+    trace: Option<&TraceHandle>,
 ) -> Model {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = pretrained.clone();
     model.add_lora(lora, &mut rng);
-    let mut trainer = Trainer::new(
-        model,
-        QuantCtx::training(scheme),
-        TrainMode::Lora,
-        AdamW::new(lr),
-    );
+    let mut qctx = QuantCtx::training(scheme);
+    if let Some(t) = trace {
+        qctx = qctx.with_trace(Rc::clone(t));
+    }
+    let mut trainer = Trainer::new(model, qctx, TrainMode::Lora, AdamW::new(lr));
     let data = task.dataset(steps * 16, seed ^ 0x10);
     for chunk in data.chunks(16).take(steps) {
         let (batch, labels) = task.batch(chunk);
@@ -128,7 +131,9 @@ pub fn lora_finetune_classify(
     trainer.model
 }
 
-/// Fine-tune a pretrained span model with LoRA under a scheme.
+/// Fine-tune a pretrained span model with LoRA under a scheme. With
+/// `trace`, the run's telemetry lands on that session.
+#[allow(clippy::too_many_arguments)]
 pub fn lora_finetune_span(
     pretrained: &Model,
     task: &SpanTask,
@@ -137,16 +142,16 @@ pub fn lora_finetune_span(
     steps: usize,
     lr: f32,
     seed: u64,
+    trace: Option<&TraceHandle>,
 ) -> Model {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = pretrained.clone();
     model.add_lora(lora, &mut rng);
-    let mut trainer = Trainer::new(
-        model,
-        QuantCtx::training(scheme),
-        TrainMode::Lora,
-        AdamW::new(lr),
-    );
+    let mut qctx = QuantCtx::training(scheme);
+    if let Some(t) = trace {
+        qctx = qctx.with_trace(Rc::clone(t));
+    }
+    let mut trainer = Trainer::new(model, qctx, TrainMode::Lora, AdamW::new(lr));
     let data = task.dataset(steps * 16, seed ^ 0x11);
     for chunk in data.chunks(16).take(steps) {
         let (batch, spans) = task.batch(chunk);

@@ -75,6 +75,15 @@ impl Table {
         println!("{}", self.render());
     }
 
+    /// The table as a JSON value: `{title, header, rows}`.
+    pub fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "title": self.title.clone(),
+            "header": self.header.clone(),
+            "rows": self.rows.clone(),
+        })
+    }
+
     /// Write `<dir>/<name>.json` with `{title, header, rows}`.
     ///
     /// # Errors
@@ -82,13 +91,21 @@ impl Table {
     /// Returns any I/O error from creating the directory or file.
     pub fn write_json(&self, dir: &Path, name: &str) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let value = serde_json::json!({
-            "title": self.title.clone(),
-            "header": self.header.clone(),
-            "rows": self.rows.clone(),
-        });
-        let mut f = std::fs::File::create(dir.join(format!("{name}.json")))?;
-        writeln!(f, "{}", serde_json::to_string_pretty(&value).expect("serializable"))
+        self.write_json_to(&dir.join(format!("{name}.json")))
+    }
+
+    /// Write the JSON form to an explicit path (creating parent
+    /// directories), for binaries with a `--json <path>` flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn write_json_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", serde_json::to_string_pretty(&self.to_value()).expect("serializable"))
     }
 }
 
@@ -124,5 +141,17 @@ mod tests {
         let s = std::fs::read_to_string(dir.join("t.json")).unwrap();
         let v: serde_json::Value = serde_json::from_str(&s).unwrap();
         assert_eq!(v["rows"][0][0], "v");
+    }
+
+    #[test]
+    fn explicit_path_matches_value() {
+        let path = std::env::temp_dir().join("qt-bench-test-explicit/sub/x.json");
+        let mut t = Table::new("E", &["a", "b"]);
+        t.row_strs(&["1", "2"]);
+        t.write_json_to(&path).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(v, t.to_value());
+        assert_eq!(v["header"][1], "b");
     }
 }

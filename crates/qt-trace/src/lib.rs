@@ -1,0 +1,42 @@
+//! Observability layer for the quantized-transformers workspace: the
+//! telemetry that every other crate produces but none could record.
+//!
+//! Three telemetry islands exist in the stack — per-cut numerical health
+//! in the quantization context, cycle/SRAM counters in the accelerator
+//! simulator, and loss-scaler/rollback events in the trainer. This crate
+//! gives them one destination:
+//!
+//! - [`TraceSession`]: hierarchical spans with wall-time *and*
+//!   logical-cycle attribution, plus typed aggregation of quantization
+//!   events, simulated GEMMs/vector ops, and loss-scaler transitions;
+//! - [`MetricsRegistry`]: labelled counters, gauges and log2-magnitude
+//!   histograms (the same binade buckets as
+//!   [`qt_tensor::TensorStats::log2_hist`]);
+//! - exporters ([`export`]): a JSONL event stream, the Chrome
+//!   `trace_event` format (loadable in `chrome://tracing` or Perfetto),
+//!   a top-K text summary ([`trace_report`]), and a deterministic
+//!   end-of-run [`RunManifest`].
+//!
+//! The non-traced hot path stays free: producers hold an
+//! `Option<`[`TraceHandle`]`>` and emit nothing — no event, no
+//! allocation — when it is `None`. Attaching a session is an explicit,
+//! per-run opt-in (`--trace-out` in the experiment binaries).
+//!
+//! Cycle attribution crosses crates through the [`CycleModel`] trait:
+//! the hardware simulator implements it, the model-side span emitters
+//! consume it, and neither crate needs to depend on the other.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod manifest;
+pub mod metrics;
+pub mod session;
+
+pub use export::{chrome_trace, jsonl, trace_report};
+pub use manifest::{RunManifest, MANIFEST_VERSION};
+pub use metrics::{LogHist, MetricsRegistry};
+pub use session::{
+    CycleModel, GemmCost, GemmSite, QuantEvent, QuantSite, Record, RecordKind, ScalerRecord,
+    SpanId, TraceHandle, TraceSession, VectorSite,
+};

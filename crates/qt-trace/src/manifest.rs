@@ -1,0 +1,206 @@
+//! The deterministic end-of-run manifest.
+//!
+//! A manifest is the machine-diffable record of *what a run computed*,
+//! stripped of everything host-dependent: scheme and seed annotations,
+//! per-site quantization health, per-GEMM utilisation, vector-unit
+//! totals, loss-scaler history, and the metrics registry. Wall-clock
+//! times never enter it, every map is a `BTreeMap`, and the vendored
+//! JSON writer sorts object keys — so two runs with the same seed
+//! serialise byte-identically and `diff run_a.json run_b.json` is a
+//! meaningful regression check across PRs.
+
+use crate::session::TraceSession;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// Manifest schema version, bumped on any breaking field change.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// Builder of the deterministic end-of-run manifest.
+#[derive(Debug, Clone, Copy)]
+pub struct RunManifest;
+
+impl RunManifest {
+    /// Assemble the manifest as a JSON value.
+    pub fn value(session: &TraceSession) -> Value {
+        let mut meta = BTreeMap::new();
+        for (k, v) in session.meta() {
+            meta.insert(k.clone(), Value::String(v.clone()));
+        }
+
+        let spans = session
+            .records()
+            .iter()
+            .filter(|r| !matches!(r.kind, crate::session::RecordKind::Instant))
+            .count();
+        let instants = session.records().len() - spans;
+
+        let mut quant = BTreeMap::new();
+        for (site, q) in session.quant_sites() {
+            let formats: Vec<Value> = q.formats.iter().map(|f| Value::String(f.clone())).collect();
+            quant.insert(
+                site.clone(),
+                json!({
+                    "events": q.events,
+                    "elements": q.elements,
+                    "saturated": q.saturated,
+                    "underflowed": q.underflowed,
+                    "nonfinite_in": q.nonfinite_in,
+                    "nonfinite_out": q.nonfinite_out,
+                    "amax_max": q.amax_max as f64,
+                    "formats": Value::Array(formats),
+                }),
+            );
+        }
+
+        let mut gemm = BTreeMap::new();
+        for (site, g) in session.gemm_sites() {
+            gemm.insert(
+                site.clone(),
+                json!({
+                    "count": g.count,
+                    "cycles": g.cycles,
+                    "macs": g.macs,
+                    "active_cycles": g.active_cycles,
+                    "sram_bytes": g.sram_bytes,
+                    "utilization": g.utilization(),
+                }),
+            );
+        }
+
+        let mut vector = BTreeMap::new();
+        for (site, v) in session.vector_sites() {
+            vector.insert(
+                site.clone(),
+                json!({
+                    "count": v.count,
+                    "cycles": v.cycles,
+                    "elements": v.elements,
+                }),
+            );
+        }
+
+        let scaler: Vec<Value> = session
+            .scaler_history()
+            .iter()
+            .map(|s| {
+                json!({
+                    "step": s.step,
+                    "event": s.event.clone(),
+                    "from": s.from as f64,
+                    "to": s.to as f64,
+                })
+            })
+            .collect();
+
+        let m = session.metrics();
+        let mut counters = BTreeMap::new();
+        for (k, v) in m.counters() {
+            counters.insert(k.clone(), Value::from(*v));
+        }
+        let mut gauges = BTreeMap::new();
+        for (k, v) in m.gauges() {
+            gauges.insert(k.clone(), Value::from(*v));
+        }
+        let mut hists = BTreeMap::new();
+        for (k, h) in m.hists() {
+            hists.insert(
+                k.clone(),
+                json!({
+                    "buckets": Value::from(h.buckets.clone()),
+                    "zeros": h.zeros,
+                    "nonfinite": h.nonfinite,
+                }),
+            );
+        }
+
+        json!({
+            "version": MANIFEST_VERSION,
+            "name": session.name(),
+            "meta": Value::Object(meta),
+            "counts": json!({"spans": spans, "instants": instants}),
+            "quant_sites": Value::Object(quant),
+            "gemm_sites": Value::Object(gemm),
+            "vector_sites": Value::Object(vector),
+            "scaler": Value::Array(scaler),
+            "metrics": json!({
+                "counters": Value::Object(counters),
+                "gauges": Value::Object(gauges),
+                "hists": Value::Object(hists),
+            }),
+        })
+    }
+
+    /// Serialize the manifest, pretty-printed with a trailing newline —
+    /// the exact bytes `--manifest-out` writes.
+    pub fn render(session: &TraceSession) -> String {
+        let mut s =
+            serde_json::to_string_pretty(&Self::value(session)).expect("serializable");
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{GemmCost, QuantEvent};
+
+    fn run(label: &str) -> TraceSession {
+        let mut s = TraceSession::new("m");
+        s.set_meta("scheme", label);
+        let sp = s.begin("enc.0", "block");
+        s.gemm(
+            "enc.0.q",
+            [4, 4, 4],
+            GemmCost {
+                cycles: 64,
+                macs: 64,
+                active_cycles: 32,
+                sram_bytes: 128,
+            },
+        );
+        s.quant(&QuantEvent {
+            site: "enc.0.q.in",
+            format: "P8E1",
+            amax: 1.5,
+            elements: 16,
+            saturated: 1,
+            underflowed: 0,
+            nonfinite_in: 0,
+            nonfinite_out: 0,
+        });
+        s.end(sp);
+        s.scaler_event(1, "backoff", 1024.0, 512.0);
+        s.metrics_mut().counter_add("steps", &[], 7);
+        s
+    }
+
+    #[test]
+    fn manifest_contains_all_sections() {
+        let v = RunManifest::value(&run("posit8"));
+        assert_eq!(v["version"].as_u64(), Some(MANIFEST_VERSION));
+        assert_eq!(v["meta"]["scheme"], "posit8");
+        assert_eq!(v["counts"]["spans"].as_u64(), Some(2));
+        assert_eq!(v["quant_sites"]["enc.0.q.in"]["saturated"].as_u64(), Some(1));
+        assert_eq!(v["gemm_sites"]["enc.0.q"]["utilization"].as_f64(), Some(0.5));
+        assert_eq!(v["scaler"][0]["event"], "backoff");
+        assert_eq!(v["metrics"]["counters"]["steps"].as_u64(), Some(7));
+    }
+
+    #[test]
+    fn identical_runs_render_identically() {
+        // Wall time differs between the two sessions; the manifest must not.
+        let a = RunManifest::render(&run("posit8"));
+        let b = RunManifest::render(&run("posit8"));
+        assert_eq!(a, b);
+        assert!(a.ends_with('\n'));
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_parser() {
+        let s = RunManifest::render(&run("fp8"));
+        let v = serde_json::from_str(&s).unwrap();
+        assert_eq!(v["name"], "m");
+    }
+}

@@ -1,0 +1,208 @@
+//! A typed metrics registry: labelled counters, gauges and log2-magnitude
+//! histograms.
+//!
+//! Metrics complement spans: a span answers *where the time went*, a
+//! metric answers *how much of something happened*. The histogram buckets
+//! are the same binade buckets as [`TensorStats::log2_hist`] — one bucket
+//! per `floor(log2(|x|))` in `[-32, 31]` — so a probe record, a gradient
+//! distribution, or a stream of scalar observations all land on the same
+//! axis as the paper's distribution figures.
+
+use qt_tensor::TensorStats;
+use std::collections::BTreeMap;
+
+/// A log2-magnitude histogram with the same bucket layout as
+/// [`TensorStats::log2_hist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHist {
+    /// Counts per binade, bucket `i` covering
+    /// `floor(log2(|x|)) == i + TensorStats::LOG2_LO`.
+    pub buckets: Vec<u64>,
+    /// Exactly-zero observations (no binade).
+    pub zeros: u64,
+    /// Non-finite observations (no binade).
+    pub nonfinite: u64,
+}
+
+impl Default for LogHist {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; TensorStats::BUCKETS],
+            zeros: 0,
+            nonfinite: 0,
+        }
+    }
+}
+
+impl LogHist {
+    /// Record one scalar observation.
+    pub fn observe(&mut self, x: f32) {
+        if x == 0.0 {
+            self.zeros += 1;
+        } else if !x.is_finite() {
+            self.nonfinite += 1;
+        } else {
+            let b = libm::floorf(libm::log2f(x.abs())) as i32;
+            let i = (b - TensorStats::LOG2_LO).clamp(0, TensorStats::BUCKETS as i32 - 1) as usize;
+            self.buckets[i] += 1;
+        }
+    }
+
+    /// Fold pre-computed binade counts (e.g. a
+    /// [`TensorStats::log2_hist`]) into this histogram, bucket-wise.
+    pub fn merge_counts(&mut self, counts: &[u64]) {
+        for (b, &c) in self.buckets.iter_mut().zip(counts) {
+            *b += c;
+        }
+    }
+
+    /// Total observations that landed in a binade bucket.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// Registry of named, labelled metrics.
+///
+/// A metric is addressed by a name plus an optional label set; labels are
+/// folded into a canonical key (`name{k=v,…}`, labels sorted by key) so
+/// iteration order — and therefore every export — is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, LogHist>,
+}
+
+/// Canonical `name{k=v,…}` key for a metric with labels.
+fn key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort();
+    let body: Vec<String> = sorted.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{name}{{{}}}", body.join(","))
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to a monotonic counter (created at zero on first use).
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        *self.counters.entry(key(name, labels)).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert(key(name, labels), value);
+    }
+
+    /// Record one scalar into a log2 histogram (created empty on first
+    /// use).
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], x: f32) {
+        self.hists.entry(key(name, labels)).or_default().observe(x);
+    }
+
+    /// Fold a pre-computed binade histogram (e.g. from a probe's
+    /// [`TensorStats`]) into a log2 histogram metric.
+    pub fn merge_hist(&mut self, name: &str, labels: &[(&str, &str)], counts: &[u64]) {
+        self.hists
+            .entry(key(name, labels))
+            .or_default()
+            .merge_counts(counts);
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters.get(&key(name, labels)).copied().unwrap_or(0)
+    }
+
+    /// Latest value of a gauge.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&key(name, labels)).copied()
+    }
+
+    /// A histogram by name + labels.
+    pub fn hist(&self, name: &str, labels: &[(&str, &str)]) -> Option<&LogHist> {
+        self.hists.get(&key(name, labels))
+    }
+
+    /// All counters in canonical-key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&String, &u64)> {
+        self.counters.iter()
+    }
+
+    /// All gauges in canonical-key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&String, &f64)> {
+        self.gauges.iter()
+    }
+
+    /// All histograms in canonical-key order.
+    pub fn hists(&self) -> impl Iterator<Item = (&String, &LogHist)> {
+        self.hists.iter()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_tensor::Tensor;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("steps", &[], 1);
+        m.counter_add("steps", &[], 2);
+        m.gauge_set("loss", &[("task", "sst2")], 0.5);
+        m.gauge_set("loss", &[("task", "sst2")], 0.25);
+        assert_eq!(m.counter_value("steps", &[]), 3);
+        assert_eq!(m.gauge_value("loss", &[("task", "sst2")]), Some(0.25));
+        assert_eq!(m.gauge_value("loss", &[]), None);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("c", &[("b", "2"), ("a", "1")], 1);
+        m.counter_add("c", &[("a", "1"), ("b", "2")], 1);
+        assert_eq!(m.counter_value("c", &[("b", "2"), ("a", "1")]), 2);
+        let keys: Vec<_> = m.counters().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec!["c{a=1,b=2}".to_string()]);
+    }
+
+    #[test]
+    fn histogram_buckets_match_tensor_stats() {
+        let t = Tensor::from_vec(vec![0.5, 1.0, 1.9, 4.0, -4.0], &[5]);
+        let stats = TensorStats::of(&t);
+        let mut m = MetricsRegistry::new();
+        for &x in t.data() {
+            m.observe("dist", &[], x);
+        }
+        let h = m.hist("dist", &[]).unwrap();
+        assert_eq!(h.buckets, stats.log2_hist);
+        // merging the pre-computed histogram doubles every bucket
+        m.merge_hist("dist", &[], &stats.log2_hist);
+        assert_eq!(m.hist("dist", &[]).unwrap().count(), 10);
+    }
+
+    #[test]
+    fn histogram_counts_zeros_and_nonfinite() {
+        let mut h = LogHist::default();
+        h.observe(0.0);
+        h.observe(f32::NAN);
+        h.observe(f32::INFINITY);
+        h.observe(2.0);
+        assert_eq!(h.zeros, 1);
+        assert_eq!(h.nonfinite, 2);
+        assert_eq!(h.count(), 1);
+    }
+}

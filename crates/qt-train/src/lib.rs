@@ -18,5 +18,5 @@ pub use eval::{
 };
 pub use metrics::{accuracy, exact_match, span_f1, wer};
 pub use optim::{AdamW, Optimizer, Sgd};
-pub use scaler::LossScaler;
+pub use scaler::{LossScaler, ScalerEvent};
 pub use trainer::Trainer;

@@ -8,6 +8,27 @@
 //! a window of clean steps it grows back, tracking the largest scale the
 //! current loss landscape tolerates.
 
+/// A scale adjustment the scaler made, kept in an internal log so
+/// telemetry (the `Trainer`, a trace session) can replay exactly when
+/// and how the scale moved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScalerEvent {
+    /// The scale grew after a clean-step window.
+    Grow {
+        /// Scale before growing.
+        from: f32,
+        /// Scale after growing.
+        to: f32,
+    },
+    /// The scale backed off on overflow.
+    Backoff {
+        /// Scale before backoff.
+        from: f32,
+        /// Scale after backoff.
+        to: f32,
+    },
+}
+
 /// Dynamic loss-scale state machine (the GradScaler recipe).
 #[derive(Debug, Clone)]
 pub struct LossScaler {
@@ -19,6 +40,7 @@ pub struct LossScaler {
     max_scale: f32,
     good_steps: usize,
     overflows: usize,
+    events: Vec<ScalerEvent>,
 }
 
 impl LossScaler {
@@ -34,6 +56,7 @@ impl LossScaler {
             max_scale: f32::MAX,
             good_steps: 0,
             overflows: 0,
+            events: Vec::new(),
         }
     }
 
@@ -72,13 +95,31 @@ impl LossScaler {
         self.overflows
     }
 
+    /// Scale adjustments made so far, in order.
+    pub fn events(&self) -> &[ScalerEvent] {
+        &self.events
+    }
+
+    /// Drain the event log (telemetry consumers call this each step so
+    /// every adjustment is reported exactly once).
+    pub fn take_events(&mut self) -> Vec<ScalerEvent> {
+        std::mem::take(&mut self.events)
+    }
+
     /// Record a step whose gradients were finite. Grows the scale after
     /// `growth_interval` consecutive clean steps.
     pub fn on_clean_step(&mut self) {
         self.good_steps += 1;
         if self.good_steps >= self.growth_interval {
+            let from = self.scale;
             self.scale = (self.scale * self.growth_factor).min(self.max_scale);
             self.good_steps = 0;
+            if self.scale != from {
+                self.events.push(ScalerEvent::Grow {
+                    from,
+                    to: self.scale,
+                });
+            }
         }
     }
 
@@ -88,6 +129,7 @@ impl LossScaler {
     /// first pulled back to the finite ceiling so backoff can make
     /// progress.
     pub fn on_overflow(&mut self) {
+        let from = self.scale;
         let base = if self.scale.is_finite() {
             self.scale
         } else {
@@ -96,6 +138,10 @@ impl LossScaler {
         self.scale = (base * self.backoff_factor).clamp(self.min_scale, self.max_scale);
         self.good_steps = 0;
         self.overflows += 1;
+        self.events.push(ScalerEvent::Backoff {
+            from,
+            to: self.scale,
+        });
     }
 }
 
@@ -141,6 +187,67 @@ mod tests {
         s.on_overflow();
         assert!(s.scale().is_finite());
         assert!(s.scale() > 0.0);
+    }
+
+    #[test]
+    fn scripted_overflow_pattern_yields_exact_event_sequence() {
+        // Script: 2 clean (grow), overflow (backoff), 1 clean (no event:
+        // streak restarted), 1 clean (grow), overflow at the min bound
+        // (backoff event still emitted, clamped in place).
+        let mut s = LossScaler::new(1024.0)
+            .with_growth(2.0, 2)
+            .with_bounds(512.0, 4096.0);
+        s.on_clean_step();
+        s.on_clean_step();
+        s.on_overflow();
+        s.on_clean_step();
+        s.on_clean_step();
+        s.on_overflow();
+        s.on_overflow();
+        assert_eq!(
+            s.events(),
+            [
+                ScalerEvent::Grow {
+                    from: 1024.0,
+                    to: 2048.0
+                },
+                ScalerEvent::Backoff {
+                    from: 2048.0,
+                    to: 1024.0
+                },
+                ScalerEvent::Grow {
+                    from: 1024.0,
+                    to: 2048.0
+                },
+                ScalerEvent::Backoff {
+                    from: 2048.0,
+                    to: 1024.0
+                },
+                ScalerEvent::Backoff {
+                    from: 1024.0,
+                    to: 512.0
+                },
+            ]
+        );
+        // Draining reports each event exactly once.
+        assert_eq!(s.take_events().len(), 5);
+        assert!(s.events().is_empty());
+        s.on_overflow(); // clamped at min: from == to, still logged
+        assert_eq!(
+            s.events(),
+            [ScalerEvent::Backoff {
+                from: 512.0,
+                to: 512.0
+            }]
+        );
+    }
+
+    #[test]
+    fn growth_at_max_bound_emits_no_event() {
+        let mut s = LossScaler::new(8.0).with_bounds(1.0, 8.0).with_growth(2.0, 1);
+        s.on_clean_step();
+        assert_eq!(s.scale(), 8.0);
+        assert!(s.events().is_empty(), "no-op growth is not an event");
     }
 
     #[test]

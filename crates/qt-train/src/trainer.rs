@@ -218,6 +218,9 @@ impl<O: Optimizer + Clone> Trainer<O> {
         dec: Option<&TokenBatch>,
         build_loss: impl FnOnce(&mut Tape, Var) -> Var,
     ) -> f32 {
+        // Telemetry rides on the QuantCtx's session (one channel for the
+        // whole stack); absent a session every emit below is a no-op.
+        let step_span = self.qctx.span_begin("train.step", "train");
         let mut tape = Tape::new();
         let out = self
             .model
@@ -251,6 +254,8 @@ impl<O: Optimizer + Clone> Trainer<O> {
         }
         if !finite || !loss_value.is_finite() {
             self.on_skipped_step();
+            self.emit_step_telemetry(loss_value, false);
+            self.qctx.span_end(step_span);
             return loss_value;
         }
         if let Some(c) = self.clip_norm {
@@ -272,7 +277,50 @@ impl<O: Optimizer + Clone> Trainer<O> {
                 });
             }
         }
+        self.emit_step_telemetry(loss_value, true);
+        self.qctx.span_end(step_span);
         loss_value
+    }
+
+    /// Per-step metrics and scaler transitions, onto the session attached
+    /// to the QuantCtx. No-op when untraced.
+    fn emit_step_telemetry(&mut self, loss_value: f32, applied: bool) {
+        let Some(trace) = self.qctx.trace().cloned() else {
+            return;
+        };
+        // Global step index: applied + skipped, counting this one.
+        let step = (self.steps + self.skipped) as u64;
+        let events = match &mut self.scaler {
+            Some(sc) => sc.take_events(),
+            None => Vec::new(),
+        };
+        let scale = self.loss_scale();
+        let mut t = trace.borrow_mut();
+        for ev in events {
+            match ev {
+                crate::scaler::ScalerEvent::Grow { from, to } => {
+                    t.scaler_event(step, "grow", from, to)
+                }
+                crate::scaler::ScalerEvent::Backoff { from, to } => {
+                    t.scaler_event(step, "backoff", from, to)
+                }
+            }
+        }
+        let m = t.metrics_mut();
+        if applied {
+            m.counter_add("train.steps", &[], 1);
+            m.gauge_set("train.loss", &[], loss_value as f64);
+        } else {
+            m.counter_add("train.skipped", &[], 1);
+        }
+        m.gauge_set("train.loss_scale", &[], scale as f64);
+        if !applied {
+            t.instant(
+                "train.skip",
+                "train",
+                vec![("loss".to_string(), loss_value as f64)],
+            );
+        }
     }
 
     /// Bookkeeping for a skipped (non-finite) step: back the dynamic
@@ -302,6 +350,15 @@ impl<O: Optimizer + Clone> Trainer<O> {
             self.steps = snap.steps;
             self.consecutive_skips = 0;
             self.rollbacks += 1;
+            if let Some(t) = self.qctx.trace() {
+                let mut t = t.borrow_mut();
+                t.instant(
+                    "train.rollback",
+                    "train",
+                    vec![("to_step".to_string(), snap.steps as f64)],
+                );
+                t.metrics_mut().counter_add("train.rollbacks", &[], 1);
+            }
         }
     }
 }
@@ -490,6 +547,59 @@ mod tests {
         }
         assert!(saw_diverged, "divergence must be reported");
         assert_eq!(tr.steps(), 0);
+    }
+
+    #[test]
+    fn traced_trainer_emits_step_metrics_and_scaler_history() {
+        use qt_trace::TraceSession;
+        use std::rc::Rc;
+
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut cfg = TransformerConfig::mobilebert_tiny_sim();
+        cfg.layers = 1;
+        let task = ClassifyTask::new(ClassifyKind::Sst2, cfg.vocab, 16);
+        let model = Model::new(cfg, TaskHead::Classify(2), &mut rng);
+        let session = TraceSession::new("train").handle();
+        let qctx = QuantCtx::training(QuantScheme::fp32()).with_trace(Rc::clone(&session));
+        // Infinite initial scale: the first step overflows (backoff),
+        // later clean steps grow the scale back.
+        let mut tr = Trainer::new(model, qctx, TrainMode::Full, AdamW::new(3e-3))
+            .with_dynamic_scaling(
+                LossScaler::new(f32::INFINITY)
+                    .with_backoff(1.0 / 65536.0)
+                    .with_growth(2.0, 2),
+            );
+        let data = task.dataset(16, 3);
+        let (batch, labels) = task.batch(&data);
+        for _ in 0..6 {
+            tr.step_classify(&batch, &labels);
+        }
+        assert!(tr.skipped() > 0 && tr.steps() > 0);
+
+        let sess = session.borrow();
+        let m = sess.metrics();
+        assert_eq!(m.counter_value("train.steps", &[]), tr.steps() as u64);
+        assert_eq!(m.counter_value("train.skipped", &[]), tr.skipped() as u64);
+        assert!(m.gauge_value("train.loss", &[]).unwrap().is_finite());
+        assert_eq!(
+            m.gauge_value("train.loss_scale", &[]),
+            Some(tr.loss_scale() as f64)
+        );
+        // Scaler history replays the backoff-then-grow trajectory, and
+        // the scaler's own log was drained into the session.
+        let hist = sess.scaler_history();
+        assert_eq!(hist[0].event, "backoff");
+        assert!(hist.iter().any(|r| r.event == "grow"));
+        assert!(tr.scaler().unwrap().events().is_empty());
+        // One span per step, all closed; skips appear as instants.
+        let steps = sess
+            .records()
+            .iter()
+            .filter(|r| r.name == "train.step")
+            .count();
+        assert_eq!(steps, 6);
+        assert_eq!(sess.open_spans(), 0);
+        assert!(sess.records().iter().any(|r| r.name == "train.skip"));
     }
 
     #[test]

@@ -388,6 +388,13 @@ impl Builder<'_> {
             .qctx
             .cut(self.tape, x, OpClass::Gemm, &format!("{site}.in"));
         let w = self.weight(w_name);
+        if self.qctx.traced() {
+            let xs = self.tape.value(xq).shape().to_vec();
+            let n = *self.tape.value(w).shape().last().unwrap_or(&1);
+            if let Some((&k, lead)) = xs.split_last() {
+                self.qctx.gemm_span(site, lead.iter().product(), k, n);
+            }
+        }
         let y = self.tape.matmul(xq, w);
         let b = self.p(b_name);
         self.tape.add(y, b)
@@ -395,6 +402,7 @@ impl Builder<'_> {
 
     /// Token + positional embeddings with embedding layer norm.
     fn embed(&mut self, batch: &TokenBatch) -> Var {
+        let span = self.qctx.span_begin("embed", "embed");
         let (b, s) = (batch.batch, batch.seq);
         let tok_table = self.p("embed.tok");
         let tok = self.tape.embedding(tok_table, &batch.ids, &[b, s]);
@@ -407,7 +415,9 @@ impl Builder<'_> {
         let ln_in = self
             .qctx
             .cut(self.tape, sum, OpClass::LayerNorm, "embed.ln.in");
-        self.tape.layernorm(ln_in, g, be, 1e-5)
+        let out = self.tape.layernorm(ln_in, g, be, 1e-5);
+        self.qctx.span_end(span);
+        out
     }
 
     /// Multi-head attention with quantization at every site of Figure 5.
@@ -425,6 +435,7 @@ impl Builder<'_> {
         let (nh, dh, h) = (cfg.heads, cfg.head_dim(), cfg.hidden);
         let kv_src = kv.unwrap_or(x);
         let kv_seq = self.tape.value(kv_src).shape()[1];
+        let span = self.qctx.span_begin(prefix, "attn");
 
         let q = self.linear(x, &format!("{prefix}.wq"), &format!("{prefix}.bq"), &format!("{prefix}.q"));
         let k = self.linear(
@@ -453,6 +464,11 @@ impl Builder<'_> {
         let kq = self
             .qctx
             .cut(self.tape, kt, OpClass::Gemm, &format!("{prefix}.scores.k"));
+        if self.qctx.traced() {
+            // QKᵀ as the accelerator sees it: one [B·nh·Sq, dh] × [dh, Skv]
+            self.qctx
+                .gemm_span(&format!("{prefix}.scores"), batch * nh * q_seq, dh, kv_seq);
+        }
         let raw = self.tape.matmul(qq, kq);
 
         // attention scaling site: the paper's most sensitive input (§4)
@@ -473,7 +489,12 @@ impl Builder<'_> {
             OpClass::Activation,
             &format!("{prefix}.softmax.in"),
         );
-        let probs = self.qctx.softmax(self.tape, sm_in);
+        let probs = if self.qctx.traced() {
+            self.qctx
+                .softmax_named(self.tape, sm_in, &format!("{prefix}.softmax"))
+        } else {
+            self.qctx.softmax(self.tape, sm_in)
+        };
 
         // context: probs @ V
         let pq = self
@@ -482,17 +503,23 @@ impl Builder<'_> {
         let vq = self
             .qctx
             .cut(self.tape, vh, OpClass::Gemm, &format!("{prefix}.ctx.v"));
+        if self.qctx.traced() {
+            self.qctx
+                .gemm_span(&format!("{prefix}.ctx"), batch * nh * q_seq, kv_seq, dh);
+        }
         let ctx = self.tape.matmul(pq, vq);
 
         // [B, nh, S, dh] -> [B, S, H], output projection
         let merged = self.tape.permute(ctx, &[0, 2, 1, 3]);
         let merged = self.tape.reshape(merged, &[batch, q_seq, h]);
-        self.linear(
+        let out = self.linear(
             merged,
             &format!("{prefix}.wo"),
             &format!("{prefix}.bo"),
             &format!("{prefix}.o"),
-        )
+        );
+        self.qctx.span_end(span);
+        out
     }
 
     fn heads_split(&mut self, x: Var, b: usize, s: usize, nh: usize, dh: usize) -> Var {
@@ -520,6 +547,7 @@ impl Builder<'_> {
     /// One FFN: `W2·gelu(W1·x + b1) + b2` with the GELU input cut at the
     /// activation site.
     fn ffn(&mut self, x: Var, prefix: &str) -> Var {
+        let span = self.qctx.span_begin(prefix, "ffn");
         let h1 = self.linear(
             x,
             &format!("{prefix}.w1"),
@@ -533,12 +561,14 @@ impl Builder<'_> {
             &format!("{prefix}.gelu.in"),
         );
         let a = self.tape.gelu(act_in);
-        self.linear(
+        let out = self.linear(
             a,
             &format!("{prefix}.w2"),
             &format!("{prefix}.b2"),
             &format!("{prefix}.down"),
-        )
+        );
+        self.qctx.span_end(span);
+        out
     }
 
     /// A full block: self-attention (+ optional cross-attention) and the
@@ -552,6 +582,7 @@ impl Builder<'_> {
         batch: usize,
         seq: usize,
     ) -> Var {
+        let span = self.qctx.span_begin(prefix, "block");
         let attn = self.attention(x, None, self_mask, &format!("{prefix}.attn"), batch, seq);
         let mut x = self.residual_ln(x, attn, &format!("{prefix}.ln1"), &format!("{prefix}.attn"));
 
@@ -594,10 +625,18 @@ impl Builder<'_> {
                 x = self.tape.add(xr, fr);
             }
         }
+        self.qctx.span_end(span);
         x
     }
 
     fn apply_head(&mut self, hidden: Var, batch: &TokenBatch) -> Var {
+        let span = self.qctx.span_begin("head", "head");
+        let out = self.apply_head_inner(hidden, batch);
+        self.qctx.span_end(span);
+        out
+    }
+
+    fn apply_head_inner(&mut self, hidden: Var, batch: &TokenBatch) -> Var {
         match self.model.head {
             TaskHead::Span => self.linear(hidden, "head.span.w", "head.span.b", "head.span"),
             TaskHead::Classify(_) => {
@@ -619,6 +658,13 @@ impl Builder<'_> {
                 let hq = self
                     .qctx
                     .cut(self.tape, hidden, OpClass::Gemm, "head.lm.in");
+                if self.qctx.traced() {
+                    let hs = self.tape.value(hq).shape().to_vec();
+                    if let Some((&k, lead)) = hs.split_last() {
+                        self.qctx
+                            .gemm_span("head.lm", lead.iter().product(), k, self.model.cfg.vocab);
+                    }
+                }
                 self.tape.matmul(hq, wt)
             }
         }
@@ -746,6 +792,66 @@ mod tests {
         let w_var = out.param_vars.get("enc.0.attn.wq").unwrap();
         assert!(grads.get(*a_var).is_some(), "adapter should have grad");
         assert!(grads.get(*w_var).is_none(), "frozen base should not");
+    }
+
+    #[test]
+    fn traced_forward_nests_gemms_inside_blocks() {
+        use qt_trace::{CycleModel, GemmCost, RecordKind, TraceSession};
+        use std::rc::Rc;
+
+        struct FlatCost;
+        impl CycleModel for FlatCost {
+            fn gemm_cost(&self, m: u64, k: u64, n: u64) -> GemmCost {
+                GemmCost {
+                    cycles: m * k * n,
+                    macs: m * k * n,
+                    active_cycles: m * k * n,
+                    sram_bytes: 0,
+                }
+            }
+            fn softmax_cycles(&self, rows: u64, width: u64) -> u64 {
+                rows * width
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = TransformerConfig::mobilebert_tiny_sim();
+        let model = Model::new(cfg.clone(), TaskHead::Span, &mut rng);
+        let batch = tiny_batch(&cfg, 1, 4, &mut rng);
+        let session = TraceSession::new("fwd").handle();
+        let qctx = QuantCtx::inference(QuantScheme::posit8())
+            .with_trace(Rc::clone(&session))
+            .with_cycle_model(Rc::new(FlatCost));
+        let mut tape = Tape::new();
+        let _ = model.forward(&mut tape, &qctx, &batch, None, TrainMode::Frozen);
+
+        let sess = session.borrow();
+        assert!(sess.open_spans() == 0, "all spans closed");
+        let records = sess.records();
+        let block_idx = records
+            .iter()
+            .position(|r| r.cat == "block")
+            .expect("block span");
+        // GEMM spans nest (transitively) under the block span.
+        let gemm = records
+            .iter()
+            .find(|r| r.cat == "gemm")
+            .expect("gemm span");
+        assert!(gemm.depth > records[block_idx].depth);
+        // Cycle model costs rolled up into the block.
+        assert!(records[block_idx].total_cycles() > 0);
+        // Attention GEMMs and softmax vector work were attributed.
+        assert!(sess.gemm_sites().keys().any(|k| k.ends_with(".scores")));
+        assert!(sess.gemm_sites().keys().any(|k| k.ends_with(".ctx")));
+        assert!(sess
+            .vector_sites()
+            .keys()
+            .any(|k| k.ends_with(".softmax")));
+        // Quant events were recorded per cut site.
+        assert!(!sess.quant_sites().is_empty());
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.kind, RecordKind::Instant) && r.cat == "quant"));
     }
 
     #[test]

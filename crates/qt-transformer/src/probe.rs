@@ -20,7 +20,13 @@ impl ProbeStore {
 
     /// Record statistics of `t` under `name`.
     pub fn record(&mut self, name: &str, t: &Tensor) {
-        self.entries.push((name.to_string(), TensorStats::of(t)));
+        self.record_stats(name, TensorStats::of(t));
+    }
+
+    /// Record pre-computed statistics under `name` (avoids a second
+    /// pass when the caller already has [`TensorStats`] in hand).
+    pub fn record_stats(&mut self, name: &str, stats: TensorStats) {
+        self.entries.push((name.to_string(), stats));
     }
 
     /// All `(name, stats)` entries in recording order.
@@ -28,7 +34,22 @@ impl ProbeStore {
         &self.entries
     }
 
-    /// Entries whose name contains `needle`.
+    /// Entries whose name contains `needle`, in stable recording order.
+    ///
+    /// ```
+    /// use qt_transformer::ProbeStore;
+    /// use qt_tensor::Tensor;
+    ///
+    /// let mut p = ProbeStore::new();
+    /// p.record("layer1.act", &Tensor::from_vec(vec![1.0], &[1]));
+    /// p.record("layer0.act", &Tensor::from_vec(vec![2.0], &[1]));
+    /// p.record("layer0.grad", &Tensor::from_vec(vec![3.0], &[1]));
+    /// let acts = p.matching(".act");
+    /// // Recording order, not name order:
+    /// assert_eq!(acts[0].0, "layer1.act");
+    /// assert_eq!(acts[1].0, "layer0.act");
+    /// assert_eq!(acts.len(), 2);
+    /// ```
     pub fn matching(&self, needle: &str) -> Vec<&(String, TensorStats)> {
         self.entries
             .iter()
@@ -64,6 +85,14 @@ impl ProbeStore {
         self.entries.clear();
     }
 
+    /// Drop all entries, returning how many were recorded — handy
+    /// between evaluation phases that reuse one store.
+    pub fn reset(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
     /// Number of recorded entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -93,5 +122,25 @@ mod tests {
         assert!(p.merged_hist("nothing").is_none());
         p.clear();
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn matching_preserves_recording_order() {
+        let mut p = ProbeStore::new();
+        for name in ["c.act", "a.act", "b.act"] {
+            p.record(name, &Tensor::from_vec(vec![1.0], &[1]));
+        }
+        let names: Vec<&str> = p.matching(".act").iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["c.act", "a.act", "b.act"]);
+    }
+
+    #[test]
+    fn reset_reports_count_and_empties() {
+        let mut p = ProbeStore::new();
+        p.record("x", &Tensor::from_vec(vec![1.0], &[1]));
+        p.record("y", &Tensor::from_vec(vec![2.0], &[1]));
+        assert_eq!(p.reset(), 2);
+        assert!(p.is_empty());
+        assert_eq!(p.reset(), 0);
     }
 }

@@ -17,6 +17,8 @@ use qt_autograd::{Tape, Var};
 use qt_quant::{
     AmaxTracker, ElemFormat, FakeQuant, OpClass, QuantScheme, ScalingMode, TensorHealth,
 };
+use qt_tensor::TensorStats;
+use qt_trace::{CycleModel, QuantEvent, SpanId, TraceHandle};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -31,6 +33,8 @@ pub struct QuantCtx {
     tracker: Rc<RefCell<AmaxTracker>>,
     health: Rc<RefCell<BTreeMap<String, TensorHealth>>>,
     probe: Option<Rc<RefCell<ProbeStore>>>,
+    trace: Option<TraceHandle>,
+    cycles: Option<Rc<dyn CycleModel>>,
     training: bool,
 }
 
@@ -67,6 +71,8 @@ impl QuantCtx {
             tracker: Rc::new(RefCell::new(AmaxTracker::new(history))),
             health: Rc::new(RefCell::new(BTreeMap::new())),
             probe: None,
+            trace: None,
+            cycles: None,
             training,
         }
     }
@@ -76,6 +82,58 @@ impl QuantCtx {
     pub fn with_probe(mut self, probe: Rc<RefCell<ProbeStore>>) -> Self {
         self.probe = Some(probe);
         self
+    }
+
+    /// Attach a trace session: every cut emits a quantization event, the
+    /// model wraps blocks/attention/FFNs in spans, and (with a cycle
+    /// model) each GEMM becomes a span whose duration is simulated
+    /// cycles. Without a session none of that work happens.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Attach a cycle-cost oracle (e.g. `qt_accel::SystolicSim`) used to
+    /// attribute simulated cycles to GEMM/softmax spans. Only consulted
+    /// when a trace session is also attached.
+    pub fn with_cycle_model(mut self, model: Rc<dyn CycleModel>) -> Self {
+        self.cycles = Some(model);
+        self
+    }
+
+    /// The attached trace session, if any.
+    pub fn trace(&self) -> Option<&TraceHandle> {
+        self.trace.as_ref()
+    }
+
+    /// `true` when a trace session is attached (cheap gate for callers
+    /// that would otherwise build span names for nothing).
+    pub fn traced(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Open a span on the attached session; no-op (returns `None`)
+    /// untraced.
+    pub fn span_begin(&self, name: &str, cat: &str) -> Option<SpanId> {
+        self.trace
+            .as_ref()
+            .map(|t| t.borrow_mut().begin(name, cat))
+    }
+
+    /// Close a span opened by [`QuantCtx::span_begin`].
+    pub fn span_end(&self, id: Option<SpanId>) {
+        if let (Some(t), Some(id)) = (&self.trace, id) {
+            t.borrow_mut().end(id);
+        }
+    }
+
+    /// Record a simulated-GEMM span at `site` for a `[m, k] × [k, n]`
+    /// GEMM. No-op unless both a session and a cycle model are attached.
+    pub fn gemm_span(&self, site: &str, m: usize, k: usize, n: usize) {
+        if let (Some(t), Some(cm)) = (&self.trace, &self.cycles) {
+            let cost = cm.gemm_cost(m as u64, k as u64, n as u64);
+            t.borrow_mut().gemm(site, [m as u64, k as u64, n as u64], cost);
+        }
     }
 
     /// The scheme in effect.
@@ -133,7 +191,16 @@ impl QuantCtx {
     /// history; use stable names like `"layer2.ffn0.act"`.
     pub fn cut(&self, tape: &mut Tape, x: Var, op: OpClass, name: &str) -> Var {
         if let Some(p) = &self.probe {
-            p.borrow_mut().record(name, tape.value(x));
+            let stats = TensorStats::of(tape.value(x));
+            // Probe records also flow into the attached session's metrics
+            // registry, on the same binade axis.
+            if let Some(t) = &self.trace {
+                let mut t = t.borrow_mut();
+                let m = t.metrics_mut();
+                m.merge_hist("probe.log2", &[("site", name)], &stats.log2_hist);
+                m.gauge_set("probe.amax", &[("site", name)], stats.amax as f64);
+            }
+            p.borrow_mut().record_stats(name, stats);
         }
         let quantize_fwd = self.quantizes(op);
         let quantize_bwd = self.training && !matches!(self.scheme.bwd, ElemFormat::Fp32);
@@ -142,6 +209,18 @@ impl QuantCtx {
         }
         let fwd_value = if quantize_fwd {
             let (v, h) = self.fq_fwd.quantize_with_health(tape.value(x));
+            if let Some(t) = &self.trace {
+                t.borrow_mut().quant(&QuantEvent {
+                    site: name,
+                    format: self.scheme.fwd.name(),
+                    amax: tape.value(x).amax(),
+                    elements: h.elements,
+                    saturated: h.saturated,
+                    underflowed: h.underflowed,
+                    nonfinite_in: h.nonfinite_in,
+                    nonfinite_out: h.nonfinite_out,
+                });
+            }
             self.health
                 .borrow_mut()
                 .entry(name.to_string())
@@ -158,6 +237,7 @@ impl QuantCtx {
         let bwd_fmt = self.scheme.bwd;
         let key = format!("{name}.grad");
         let probe = self.probe.clone();
+        let trace = self.trace.clone();
         tape.custom(
             vec![x],
             fwd_value,
@@ -181,6 +261,18 @@ impl QuantCtx {
                         fq_bwd.quantize_scaled_with_health(g, scale)
                     }
                 };
+                if let Some(t) = &trace {
+                    t.borrow_mut().quant(&QuantEvent {
+                        site: &key,
+                        format: bwd_fmt.name(),
+                        amax: g.amax(),
+                        elements: h.elements,
+                        saturated: h.saturated,
+                        underflowed: h.underflowed,
+                        nonfinite_in: h.nonfinite_in,
+                        nonfinite_out: h.nonfinite_out,
+                    });
+                }
                 health
                     .borrow_mut()
                     .entry(key.clone())
@@ -199,6 +291,23 @@ impl QuantCtx {
 
     /// The scheme's softmax, recorded with its custom backward.
     pub fn softmax(&self, tape: &mut Tape, scores: Var) -> Var {
+        self.softmax.apply(tape, scores)
+    }
+
+    /// [`QuantCtx::softmax`] that also attributes vector-unit cycles at
+    /// `site` when a session and cycle model are attached. Rows are the
+    /// product of the leading dimensions, width the trailing one — the
+    /// shape the accelerator's vector unit sees.
+    pub fn softmax_named(&self, tape: &mut Tape, scores: Var, site: &str) -> Var {
+        if let (Some(t), Some(cm)) = (&self.trace, &self.cycles) {
+            let shape = tape.value(scores).shape().to_vec();
+            if let Some((&width, rows)) = shape.split_last() {
+                let rows: usize = rows.iter().product();
+                let cycles = cm.softmax_cycles(rows as u64, width as u64);
+                t.borrow_mut()
+                    .vector(site, cycles, (rows * width) as u64);
+            }
+        }
         self.softmax.apply(tape, scores)
     }
 
@@ -319,6 +428,70 @@ mod tests {
         let names: Vec<String> = ctx.health_report().into_iter().map(|(n, _)| n).collect();
         assert!(names.contains(&"t".to_string()));
         assert!(names.contains(&"t.grad".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn health_report_is_sorted_and_merges_repeat_sites() {
+        let ctx = QuantCtx::training(QuantScheme::posit8());
+        let mut tape = Tape::new();
+        // Cut sites deliberately out of lexicographic order, one repeated.
+        for (name, n) in [("z.act", 2usize), ("a.act", 3), ("m.act", 1), ("a.act", 3)] {
+            let x = tape.leaf(Tensor::from_vec(vec![1.0; n], &[n]), true);
+            let q = ctx.cut(&mut tape, x, OpClass::Gemm, name);
+            let s = tape.sum_all(q);
+            let _ = tape.backward(s);
+        }
+        let report = ctx.health_report();
+        let names: Vec<&str> = report.iter().map(|(n, _)| n.as_str()).collect();
+        // Sorted by site name, forward and ".grad" keys interleaved.
+        assert_eq!(
+            names,
+            ["a.act", "a.act.grad", "m.act", "m.act.grad", "z.act", "z.act.grad"]
+        );
+        // The repeated site merged both passes: 3 + 3 elements.
+        let a = &report[0].1;
+        assert_eq!(a.elements, 6);
+        assert_eq!(ctx.health_of("a.act.grad").unwrap().elements, 6);
+    }
+
+    #[test]
+    fn traced_cut_emits_quant_events_and_probe_metrics() {
+        let probe = Rc::new(RefCell::new(ProbeStore::new()));
+        let session = qt_trace::TraceSession::new("t").handle();
+        let ctx = QuantCtx::training(QuantScheme::posit8())
+            .with_probe(Rc::clone(&probe))
+            .with_trace(Rc::clone(&session));
+        assert!(ctx.traced());
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1e9, 1.0], &[2]), true);
+        let q = ctx.cut(&mut tape, x, OpClass::Gemm, "site");
+        let s = tape.sum_all(q);
+        let _ = tape.backward(s);
+        let sess = session.borrow();
+        // Forward event carries pre-quant amax and the saturation count.
+        let fwd = &sess.quant_sites()["site"];
+        assert_eq!(fwd.events, 1);
+        assert_eq!(fwd.saturated, 1);
+        assert_eq!(fwd.amax_max, 1e9);
+        assert!(fwd.formats.contains("Posit(8,1)"));
+        // Backward event lands under the .grad key.
+        assert_eq!(sess.quant_sites()["site.grad"].events, 1);
+        // Probe records flowed into the metrics registry.
+        let hist = sess.metrics().hist("probe.log2", &[("site", "site")]).unwrap();
+        assert_eq!(hist.count(), 2);
+        assert_eq!(
+            sess.metrics().gauge_value("probe.amax", &[("site", "site")]),
+            Some(1e9)
+        );
+    }
+
+    #[test]
+    fn untraced_ctx_keeps_hot_path_quiet() {
+        let ctx = QuantCtx::inference(QuantScheme::posit8());
+        assert!(!ctx.traced());
+        assert!(ctx.span_begin("x", "block").is_none());
+        ctx.span_end(None);
+        ctx.gemm_span("g", 4, 4, 4); // no session/model: silently ignored
     }
 
     #[test]

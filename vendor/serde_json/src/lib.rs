@@ -215,7 +215,10 @@ fn escape(s: &str, out: &mut String) {
 }
 
 fn fmt_number(n: f64) -> String {
-    if n.fract() == 0.0 && n.abs() < 1e15 {
+    if !n.is_finite() {
+        // JSON has no Infinity/NaN; mirror serde_json, which emits null.
+        "null".to_string()
+    } else if n.fract() == 0.0 && n.abs() < 1e15 {
         format!("{}", n as i64)
     } else {
         format!("{n}")
