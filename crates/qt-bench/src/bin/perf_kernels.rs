@@ -1,0 +1,194 @@
+//! Kernel micro-benchmarks: the blocked GEMM, LUT quantization per
+//! format, and a full traced forward pass, each timed at pool sizes
+//! 1/2/4/8 (via `qt_par::with_threads`, independent of `QT_THREADS`).
+//!
+//! Besides timing, every sweep point is checked bitwise against the
+//! serial result — the parallel layer's determinism contract — and the
+//! forward pass additionally compares deterministic run manifests.
+//! Writes `results/BENCH_kernels.json`.
+
+use qt_accel::{Accelerator, SystolicSim};
+use qt_bench::{datapath_for, pretrain_lm, Opts};
+use qt_datagen::LmTask;
+use qt_quant::{ElemFormat, FakeQuant, QuantScheme};
+use qt_tensor::Tensor;
+use qt_train::evaluate_lm_perplexity;
+use qt_trace::{RunManifest, TraceSession};
+use qt_transformer::{QuantCtx, TransformerConfig};
+use rand::{rngs::StdRng, SeedableRng};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Pool sizes every kernel is swept over.
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Best-of-`iters` wall milliseconds for `f`, after one warmup call.
+fn time_ms<R>(iters: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    let mut out = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (out, best)
+}
+
+fn ms_map(ms: &BTreeMap<usize, f64>) -> Value {
+    let mut m = BTreeMap::new();
+    for (t, v) in ms {
+        m.insert(format!("t{t}"), Value::from(*v));
+    }
+    Value::Object(m)
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let iters = opts.pick(20, 3);
+    eprintln!(
+        "[perf_kernels] pool sweep {SWEEP:?} (configured threads: {}, QT_THREADS={})",
+        qt_par::threads(),
+        qt_par::qt_threads_env().unwrap_or_else(|| "unset".into()),
+    );
+
+    // ---- GEMM: the tab06 model shapes (seq × hidden × ffn) ----
+    let mut gemm_rows = Vec::new();
+    let mut shapes: Vec<(String, [usize; 3])> = [
+        TransformerConfig::gpt2_large_sim(),
+        TransformerConfig::gpt2_xl_sim(),
+        TransformerConfig::llama7b_sim(),
+        TransformerConfig::llama13b_sim(),
+    ]
+    .iter()
+    .map(|cfg| (cfg.name.to_string(), [32, cfg.hidden, cfg.ffn]))
+    .collect();
+    // One deliberately larger shape so the parallel path is exercised
+    // well past the serial threshold even in --quick mode.
+    shapes.push(("synthetic".into(), [128, 256, 512]));
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    for (name, [m, k, n]) in &shapes {
+        let a = Tensor::randn(&[*m, *k], &mut rng);
+        let b = Tensor::randn(&[*k, *n], &mut rng);
+        let reference = qt_par::serial(|| a.matmul(&b));
+        let mut ms = BTreeMap::new();
+        for t in SWEEP {
+            let (out, best) = qt_par::with_threads(t, || time_ms(iters, || a.matmul(&b)));
+            assert_eq!(
+                out.data(),
+                reference.data(),
+                "GEMM {name} not bitwise-deterministic at {t} threads"
+            );
+            ms.insert(t, best);
+        }
+        eprintln!("[perf_kernels] gemm {name} [{m}x{k}x{n}]: {ms:?}");
+        gemm_rows.push(json!({
+            "model": name.clone(),
+            "shape": json!([*m as u64, *k as u64, *n as u64]),
+            "ms": ms_map(&ms),
+        }));
+    }
+
+    // ---- Quantization per 8-/9-bit format ----
+    let mut quant_rows = Vec::new();
+    let elems = opts.pick(1 << 17, 1 << 14);
+    let x = Tensor::randn(&[elems], &mut rng).mul_scalar(8.0);
+    for fmt in [
+        ElemFormat::P8E0,
+        ElemFormat::P8E1,
+        ElemFormat::P8E2,
+        ElemFormat::E4M3,
+        ElemFormat::E5M2,
+        ElemFormat::E5M3,
+        ElemFormat::Bf16,
+    ] {
+        let q = FakeQuant::new(fmt);
+        let reference = qt_par::serial(|| q.quantize(&x));
+        // The consuming path must agree with the borrowed path.
+        assert_eq!(q.quantize_owned(x.clone()).data(), reference.data());
+        let mut ms = BTreeMap::new();
+        for t in SWEEP {
+            let (out, best) = qt_par::with_threads(t, || time_ms(iters, || q.quantize(&x)));
+            assert_eq!(
+                out.data(),
+                reference.data(),
+                "quantize {fmt:?} not bitwise-deterministic at {t} threads"
+            );
+            ms.insert(t, best);
+        }
+        eprintln!("[perf_kernels] quantize {} ({elems} elems): {ms:?}", fmt.name());
+        quant_rows.push(json!({
+            "format": fmt.name(),
+            "elements": elems as u64,
+            "ms": ms_map(&ms),
+        }));
+    }
+
+    // ---- Full traced forward pass ----
+    let cfg = TransformerConfig::gpt2_large_sim();
+    let task = LmTask::new(cfg.vocab, 32, 7);
+    let model = pretrain_lm(&cfg, &task, opts.pick(40, 5), opts.seed);
+    let eval_data = task.dataset(opts.pick(32, 8), opts.seed ^ 0xEEE);
+    let batches: Vec<_> = eval_data.chunks(8).map(|c| task.batch(c)).collect();
+    let run_forward = || {
+        let session = TraceSession::new("perf_kernels").handle();
+        session.borrow_mut().set_meta("seed", opts.seed.to_string());
+        let sim = SystolicSim::new(Accelerator::new(
+            8,
+            datapath_for(ElemFormat::P8E1),
+        ));
+        let qctx = QuantCtx::inference(QuantScheme::posit8())
+            .with_trace(Rc::clone(&session))
+            .with_cycle_model(Rc::new(sim));
+        let ppl = evaluate_lm_perplexity(&model, &qctx, &batches);
+        drop(qctx);
+        let session = Rc::try_unwrap(session).expect("sole owner").into_inner();
+        (ppl, RunManifest::render_deterministic(&session))
+    };
+    let (ref_ppl, ref_manifest) = qt_par::serial(run_forward);
+    let mut fwd_ms = BTreeMap::new();
+    for t in SWEEP {
+        let ((ppl, manifest), best) =
+            qt_par::with_threads(t, || time_ms(iters.min(5), run_forward));
+        assert_eq!(
+            ppl.to_bits(),
+            ref_ppl.to_bits(),
+            "forward perplexity not bitwise-deterministic at {t} threads"
+        );
+        assert_eq!(
+            manifest, ref_manifest,
+            "deterministic manifest differs at {t} threads"
+        );
+        fwd_ms.insert(t, best);
+    }
+    eprintln!(
+        "[perf_kernels] forward {} (ppl {ref_ppl:.3}): {fwd_ms:?}",
+        cfg.name
+    );
+    let forward_row = json!({
+        "model": cfg.name,
+        "batches": batches.len() as u64,
+        "perplexity": ref_ppl,
+        "ms": ms_map(&fwd_ms),
+        "deterministic": true,
+    });
+
+    let doc = json!({
+        "bench": "perf_kernels",
+        "version": 1u64,
+        "mode": if opts.quick { "quick" } else { "full" },
+        "seed": opts.seed,
+        "threads_available": qt_par::threads() as u64,
+        "sweep": json!(SWEEP.iter().map(|&t| t as u64).collect::<Vec<_>>()),
+        "gemm": Value::Array(gemm_rows),
+        "quantize": Value::Array(quant_rows),
+        "forward": forward_row,
+    });
+    std::fs::create_dir_all(&opts.out_dir).expect("create out dir");
+    let path = opts.out_dir.join("BENCH_kernels.json");
+    let mut text = serde_json::to_string_pretty(&doc).expect("serializable");
+    text.push('\n');
+    std::fs::write(&path, text).expect("write BENCH_kernels.json");
+    eprintln!("[perf_kernels] wrote {}", path.display());
+}

@@ -115,6 +115,14 @@ impl Opts {
     /// saturation report to stderr.
     pub fn close_trace(&self, trace: Option<TraceHandle>) {
         let Some(trace) = trace else { return };
+        {
+            // Cumulative qt-par chunk count: deterministic for a given
+            // workload (chunk boundaries never depend on the pool size).
+            let mut session = trace.borrow_mut();
+            session
+                .metrics_mut()
+                .counter_add("par.chunk_tasks", &[], qt_par::tasks_executed());
+        }
         let session = trace.borrow();
         if let Some(path) = &self.trace_out {
             if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {

@@ -11,9 +11,11 @@ use qt_tensor::Tensor;
 ///
 /// For the 8-/9-bit formats the quantizer pre-computes the sorted value
 /// table and the decision boundaries between adjacent values (including
-/// tie direction), so per-element quantization is a binary search instead
-/// of a full encode — the same trick a hardware LUT-based converter uses.
-/// Results are bit-identical to [`ElemFormat::quantize_scalar_with`].
+/// tie direction), plus a 2^16-entry direct-index LUT keyed on the top 16
+/// bits of the input (bf16-spaced cells): cells whose whole value range
+/// rounds to one grid point answer in O(1); cells containing a decision
+/// boundary (or inf/NaN) hold a sentinel and fall back to the binary
+/// search. Results are bit-identical to [`ElemFormat::quantize_scalar_with`].
 ///
 /// # Example
 ///
@@ -39,6 +41,26 @@ pub struct FakeQuant {
     /// equal to it map according to `tie_up[i]`.
     bounds: Vec<f32>,
     tie_up: Vec<bool>,
+    /// Direct-index table: `lut[x.to_bits() >> 16]` is the value index for
+    /// every f32 in that bf16-spaced cell, or [`LUT_SENTINEL`] when the
+    /// cell straddles a decision boundary (binary-search fallback).
+    /// Empty for the identity/wide formats.
+    lut: Vec<u16>,
+}
+
+/// LUT cell marker: fall back to the binary search.
+const LUT_SENTINEL: u16 = u16::MAX;
+
+/// Binary search over decision boundaries: `b < x` puts an input exactly
+/// on a boundary below it, so ties land on the lower value; bump when the
+/// pre-computed tie direction says otherwise.
+#[inline]
+fn search_index(bounds: &[f32], tie_up: &[bool], n: usize, x: f32) -> usize {
+    let mut i = bounds.partition_point(|&b| b < x).min(n - 1);
+    if i < bounds.len() && x == bounds[i] && tie_up[i] {
+        i += 1;
+    }
+    i.min(n - 1)
 }
 
 impl FakeQuant {
@@ -69,6 +91,26 @@ impl FakeQuant {
             let q = format.quantize_scalar_with(mid as f32, policy);
             tie_up.push(q == w[1]);
         }
+        // Build the direct-index LUT. A cell covers the f32s sharing their
+        // top 16 bits — a contiguous value interval (per sign), over which
+        // the rounding index is monotone; if both cell endpoints search to
+        // the same index the whole cell does, and the cell answers in O(1).
+        let n = values.len();
+        let mut lut = Vec::new();
+        if n > 0 && n < LUT_SENTINEL as usize {
+            lut = vec![LUT_SENTINEL; 1 << 16];
+            for (cell, slot) in lut.iter_mut().enumerate() {
+                if (cell >> 7) & 0xFF == 0xFF {
+                    continue; // exponent 0xFF: inf/NaN, guard path handles it
+                }
+                let bits = (cell as u32) << 16;
+                let ia = search_index(&bounds, &tie_up, n, f32::from_bits(bits));
+                let ib = search_index(&bounds, &tie_up, n, f32::from_bits(bits | 0xFFFF));
+                if ia == ib {
+                    *slot = ia as u16;
+                }
+            }
+        }
         Self {
             format,
             policy,
@@ -76,6 +118,7 @@ impl FakeQuant {
             values,
             bounds,
             tie_up,
+            lut,
         }
     }
 
@@ -115,6 +158,19 @@ impl FakeQuant {
         }
     }
 
+    /// Resolve the value index for a finite input: O(1) LUT hit, or the
+    /// binary search when the cell holds the sentinel (tie/boundary cells,
+    /// or a format too wide for the table).
+    #[inline]
+    fn index_for(&self, x: f32) -> usize {
+        if let Some(&i) = self.lut.get((x.to_bits() >> 16) as usize) {
+            if i != LUT_SENTINEL {
+                return i as usize;
+            }
+        }
+        search_index(&self.bounds, &self.tie_up, self.values.len(), x)
+    }
+
     /// Quantize a single value.
     #[inline]
     pub fn quantize_scalar(&self, x: f32) -> f32 {
@@ -127,15 +183,7 @@ impl FakeQuant {
             // Fp32 (identity) or Bf16 (cheap direct rounding).
             return self.format.quantize_scalar_with(x, self.policy);
         }
-        let n = self.values.len();
-        // Binary search over decision boundaries: `b < x` puts an input
-        // exactly on a boundary below it, so ties land on the lower value;
-        // bump when the pre-computed tie direction says otherwise.
-        let mut i = self.bounds.partition_point(|&b| b < x).min(n - 1);
-        if i < self.bounds.len() && x == self.bounds[i] && self.tie_up[i] {
-            i += 1;
-        }
-        let v = self.values[i.min(n - 1)];
+        let v = self.values[self.index_for(x)];
         // Standard posit policy: a non-zero input never rounds to zero.
         if v == 0.0
             && x != 0.0
@@ -167,6 +215,24 @@ impl FakeQuant {
         t.map(|x| self.quantize_scalar(x * scale) * inv)
     }
 
+    /// Consuming [`FakeQuant::quantize`]: rewrites the tensor in place,
+    /// avoiding the output allocation when the caller hands ownership.
+    pub fn quantize_owned(&self, t: Tensor) -> Tensor {
+        if matches!(self.format, ElemFormat::Fp32) {
+            return t;
+        }
+        t.mapv(|x| self.quantize_scalar(x))
+    }
+
+    /// Consuming [`FakeQuant::quantize_scaled`].
+    pub fn quantize_scaled_owned(&self, t: Tensor, scale: f32) -> Tensor {
+        if matches!(self.format, ElemFormat::Fp32) {
+            return t;
+        }
+        let inv = 1.0 / scale;
+        t.mapv(|x| self.quantize_scalar(x * scale) * inv)
+    }
+
     /// Classify one (pre-quantization, post-quantization) pair into the
     /// health counters. `x` is the value actually rounded (after scaling).
     #[inline]
@@ -194,14 +260,34 @@ impl FakeQuant {
     /// underflow are judged on the *scaled* value — the one that actually
     /// met the format's range.
     pub fn quantize_scaled_with_health(&self, t: &Tensor, scale: f32) -> (Tensor, TensorHealth) {
-        let mut health = TensorHealth::default();
+        /// Elements per parallel chunk — fixed, so the decomposition (and
+        /// the in-order merge of health partials) is thread-count-invariant.
+        const QUANT_CHUNK: usize = 8 * 1024;
         let inv = if scale == 1.0 { 1.0 } else { 1.0 / scale };
-        let mut data = Vec::with_capacity(t.data().len());
-        for &x in t.data() {
-            let xs = x * scale;
-            let v = self.quantize_scalar(xs);
-            self.classify(xs, v, &mut health);
-            data.push(v * inv);
+        let src = t.data();
+        let quantize_span = |out: &mut [f32], xs_off: usize, health: &mut TensorHealth| {
+            let end = xs_off + out.len();
+            for (o, &x) in out.iter_mut().zip(&src[xs_off..end]) {
+                let xs = x * scale;
+                let v = self.quantize_scalar(xs);
+                self.classify(xs, v, health);
+                *o = v * inv;
+            }
+        };
+        let mut data = vec![0.0f32; src.len()];
+        let mut health = TensorHealth::default();
+        if data.len() < QUANT_CHUNK {
+            quantize_span(&mut data, 0, &mut health);
+        } else {
+            // Per-chunk health partials, merged in chunk order.
+            let partials = qt_par::parallel_map_slices_mut(&mut data, QUANT_CHUNK, |_, off, out| {
+                let mut h = TensorHealth::default();
+                quantize_span(out, off, &mut h);
+                h
+            });
+            for p in &partials {
+                health.merge(p);
+            }
         }
         (Tensor::from_vec(data, t.shape()), health)
     }

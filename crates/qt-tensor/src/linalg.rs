@@ -1,7 +1,103 @@
 //! Matrix multiplication, transposition, permutation.
+//!
+//! The GEMM is a cache-blocked, B-panel-packed kernel (MC×KC×NR tiling,
+//! f32 accumulate) parallelized across `batch × row-block` units. Every
+//! output element accumulates its `k` terms in ascending order regardless
+//! of blocking or thread count, so results are bitwise-deterministic —
+//! and bitwise-identical to the reference i-k-j loop.
 
 use crate::shape::strides_of;
 use crate::tensor::Tensor;
+
+/// Rows of `A`/`O` per parallel unit.
+const MC: usize = 32;
+/// Contraction-panel depth: one packed `KC × NR` B tile is ~32 KiB.
+const KC: usize = 128;
+/// Output-column tile width (the microkernel's register block).
+const NR: usize = 64;
+/// Below this many MACs the whole GEMM runs on the calling thread without
+/// touching the parallel layer (shape-based, so the decision — and the
+/// `par.chunk_tasks` counter — is identical at every thread count).
+const PAR_MIN_MACS: usize = 64 * 1024;
+
+/// `rhs` repacked for the microkernel: per KC-panel, per NR-column tile, a
+/// contiguous `[kc][nr]` block, plus a per-`k`-row all-finite flag that
+/// gates the `a == 0` skip (skipping a row holding NaN/±∞ would hide the
+/// IEEE `0 × ∞ = NaN`).
+struct PackedB {
+    data: Vec<f32>,
+    /// Start of tile `(panel, jb)` in `data`, indexed `panel * njb + jb`.
+    tile_off: Vec<usize>,
+    /// `finite[kk]`: every element of B row `kk` is finite.
+    row_finite: Vec<bool>,
+    njb: usize,
+}
+
+impl PackedB {
+    fn pack(b: &[f32], bb: usize, k: usize, n: usize) -> Self {
+        let row_finite: Vec<bool> = (0..k)
+            .map(|kk| b[bb + kk * n..bb + (kk + 1) * n].iter().all(|v| v.is_finite()))
+            .collect();
+        let npanels = k.div_ceil(KC);
+        let njb = n.div_ceil(NR);
+        let mut data = Vec::with_capacity(k * n);
+        let mut tile_off = Vec::with_capacity(npanels * njb);
+        for k0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - k0);
+            for j0 in (0..n).step_by(NR) {
+                let nr = NR.min(n - j0);
+                tile_off.push(data.len());
+                for kk in 0..kc {
+                    let row = bb + (k0 + kk) * n + j0;
+                    data.extend_from_slice(&b[row..row + nr]);
+                }
+            }
+        }
+        Self {
+            data,
+            tile_off,
+            row_finite,
+            njb,
+        }
+    }
+
+    #[inline]
+    fn tile(&self, panel: usize, jb: usize, kc: usize, nr: usize) -> &[f32] {
+        let off = self.tile_off[panel * self.njb + jb];
+        &self.data[off..off + kc * nr]
+    }
+}
+
+/// The microkernel: accumulate `rows` rows of one batch's product into
+/// `o` (shape `[rows, n]`, covering A rows `i0..i0+rows`). For each
+/// output element the `k` terms are added in ascending order — panels and
+/// column tiles only re-tile the loop nest, never the accumulation order.
+fn gemm_block(a: &[f32], i0: usize, rows: usize, k: usize, n: usize, pack: &PackedB, o: &mut [f32]) {
+    for (panel, k0) in (0..k).step_by(KC).enumerate() {
+        let kc = KC.min(k - k0);
+        for (jb, j0) in (0..n).step_by(NR).enumerate() {
+            let nr = NR.min(n - j0);
+            let tile = pack.tile(panel, jb, kc, nr);
+            let finite = &pack.row_finite[k0..k0 + kc];
+            for r in 0..rows {
+                let arow = &a[(i0 + r) * k + k0..(i0 + r) * k + k0 + kc];
+                let orow = &mut o[r * n + j0..r * n + j0 + nr];
+                let mut acc = [0.0f32; NR];
+                acc[..nr].copy_from_slice(orow);
+                for (kk, &av) in arow.iter().enumerate() {
+                    if av == 0.0 && finite[kk] {
+                        continue;
+                    }
+                    let brow = &tile[kk * nr..(kk + 1) * nr];
+                    for (ov, &bv) in acc[..nr].iter_mut().zip(brow) {
+                        *ov += av * bv;
+                    }
+                }
+                orow.copy_from_slice(&acc[..nr]);
+            }
+        }
+    }
+}
 
 impl Tensor {
     /// Batched matrix multiplication.
@@ -9,6 +105,9 @@ impl Tensor {
     /// `self` has shape `[..., m, k]`, `rhs` has shape `[..., k, n]`; the
     /// leading (batch) axes broadcast against each other; the result has
     /// shape `[broadcast_batch..., m, n]`.
+    ///
+    /// Runs the blocked parallel kernel described in the module docs;
+    /// results are bitwise-identical for any `QT_THREADS`.
     ///
     /// # Panics
     ///
@@ -40,6 +139,9 @@ impl Tensor {
         let mut out_shape = batch.clone();
         out_shape.extend_from_slice(&[m, n]);
         let mut out = Tensor::zeros(&out_shape);
+        if m == 0 || n == 0 || ka == 0 || batch_count == 0 {
+            return out;
+        }
 
         // Flat batch offsets for each operand (0-stride on broadcast axes).
         let offs_a = batch_offsets(batch_a, &batch, m * ka);
@@ -47,25 +149,51 @@ impl Tensor {
 
         let a = self.data();
         let b = rhs.data();
-        let o = out.data_mut();
-        for bi in 0..batch_count {
-            let ab = offs_a[bi];
-            let bb = offs_b[bi];
-            let ob = bi * m * n;
-            // i-k-j loop order: streams through b rows, accumulates rows of o.
-            for i in 0..m {
-                let arow = &a[ab + i * ka..ab + (i + 1) * ka];
-                let orow = &mut o[ob + i * n..ob + (i + 1) * n];
-                for (kk, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[bb + kk * n..bb + (kk + 1) * n];
-                    for (ov, &bv) in orow.iter_mut().zip(brow) {
-                        *ov += av * bv;
-                    }
+
+        // Pack B once per distinct batch offset (broadcast batches share
+        // one pack), outside the parallel region.
+        let mut pack_of = vec![0usize; batch_count];
+        let mut packs: Vec<PackedB> = Vec::new();
+        let mut seen: Vec<(usize, usize)> = Vec::new(); // (offset, pack idx)
+        for (bi, &bb) in offs_b.iter().enumerate() {
+            let idx = match seen.iter().find(|(off, _)| *off == bb) {
+                Some(&(_, idx)) => idx,
+                None => {
+                    packs.push(PackedB::pack(b, bb, kb, n));
+                    seen.push((bb, packs.len() - 1));
+                    packs.len() - 1
                 }
+            };
+            pack_of[bi] = idx;
+        }
+
+        // One parallel unit per (batch, MC-row block); units tile the
+        // output contiguously, in order.
+        let row_blocks = m.div_ceil(MC);
+        let mut part_lens = Vec::with_capacity(batch_count * row_blocks);
+        for _ in 0..batch_count {
+            for rb in 0..row_blocks {
+                part_lens.push((MC.min(m - rb * MC)) * n);
             }
+        }
+        let unit = |u: usize, opart: &mut [f32]| {
+            let bi = u / row_blocks;
+            let rb = u % row_blocks;
+            let i0 = rb * MC;
+            let rows = MC.min(m - i0);
+            gemm_block(&a[offs_a[bi]..], i0, rows, ka, n, &packs[pack_of[bi]], opart);
+        };
+
+        let o = out.data_mut();
+        if batch_count * m * ka * n < PAR_MIN_MACS {
+            let mut rest = o;
+            for (u, &len) in part_lens.iter().enumerate() {
+                let (head, tail) = rest.split_at_mut(len);
+                unit(u, head);
+                rest = tail;
+            }
+        } else {
+            qt_par::parallel_for_parts_mut(o, &part_lens, |u, _off, opart| unit(u, opart));
         }
         out
     }
@@ -177,6 +305,22 @@ mod tests {
         let c = a.matmul(&b);
         assert_eq!(c.shape(), &[2, 2]);
         assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_propagates_nonfinite_rhs_through_zero_lhs() {
+        // IEEE: 0 × NaN = NaN and 0 × ∞ = NaN. The zero-skip fast path
+        // must not hide a poisoned B row behind a zero A element.
+        let a = Tensor::zeros(&[1, 2]);
+        let mut b = Tensor::zeros(&[2, 2]);
+        b.set(&[0, 0], f32::NAN);
+        b.set(&[1, 1], f32::INFINITY);
+        let c = a.matmul(&b);
+        assert!(c.data()[0].is_nan(), "0×NaN must propagate");
+        assert!(c.data()[1].is_nan(), "0×∞ must propagate");
+        // Finite B rows still take the skip: zeros stay exactly zero.
+        let bf = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.matmul(&bf).data(), &[0.0, 0.0]);
     }
 
     #[test]

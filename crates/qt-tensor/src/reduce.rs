@@ -2,6 +2,28 @@
 
 use crate::tensor::Tensor;
 
+/// Run `body` over every `last`-length row of `data`, parallelized over
+/// row-aligned chunks. Chunk boundaries depend only on `last` and the
+/// element count (never the thread count), and each row is processed
+/// independently, so output is bitwise-identical at any `QT_THREADS`.
+fn for_each_row(data: &mut [f32], last: usize, body: impl Fn(&mut [f32]) + Sync) {
+    /// Target elements per chunk before rounding up to whole rows.
+    const ROW_CHUNK: usize = 4 * 1024;
+    let rows = data.len() / last;
+    if rows <= 1 || data.len() < ROW_CHUNK {
+        for row in data.chunks_mut(last) {
+            body(row);
+        }
+    } else {
+        let rows_per = (ROW_CHUNK / last).max(1);
+        qt_par::parallel_for_slices_mut(data, rows_per * last, |_, _, chunk| {
+            for row in chunk.chunks_mut(last) {
+                body(row);
+            }
+        });
+    }
+}
+
 impl Tensor {
     /// Sum of all elements.
     pub fn sum_all(&self) -> f32 {
@@ -103,11 +125,8 @@ impl Tensor {
     /// Numerically-stable softmax over the last axis.
     pub fn softmax_lastdim(&self) -> Tensor {
         let last = *self.shape().last().expect("softmax of a scalar");
-        let rows = self.len() / last;
         let mut out = self.clone();
-        let data = out.data_mut();
-        for r in 0..rows {
-            let row = &mut data[r * last..(r + 1) * last];
+        for_each_row(out.data_mut(), last, |row| {
             let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
             let mut sum = 0.0;
             for x in row.iter_mut() {
@@ -117,24 +136,21 @@ impl Tensor {
             for x in row.iter_mut() {
                 *x /= sum;
             }
-        }
+        });
         out
     }
 
     /// Log-softmax over the last axis (stable).
     pub fn log_softmax_lastdim(&self) -> Tensor {
         let last = *self.shape().last().expect("log_softmax of a scalar");
-        let rows = self.len() / last;
         let mut out = self.clone();
-        let data = out.data_mut();
-        for r in 0..rows {
-            let row = &mut data[r * last..(r + 1) * last];
+        for_each_row(out.data_mut(), last, |row| {
             let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
             let lse = m + libm::logf(row.iter().map(|&x| libm::expf(x - m)).sum::<f32>());
             for x in row.iter_mut() {
                 *x -= lse;
             }
-        }
+        });
         out
     }
 
@@ -148,18 +164,16 @@ impl Tensor {
         let h = *self.shape().last().expect("layernorm of a scalar");
         assert_eq!(gamma.len(), h, "gamma size mismatch");
         assert_eq!(beta.len(), h, "beta size mismatch");
-        let rows = self.len() / h;
         let mut out = self.clone();
-        let data = out.data_mut();
-        for r in 0..rows {
-            let row = &mut data[r * h..(r + 1) * h];
+        let (g, b) = (gamma.data(), beta.data());
+        for_each_row(out.data_mut(), h, |row| {
             let mean = row.iter().sum::<f32>() / h as f32;
             let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / h as f32;
             let inv = 1.0 / (var + eps).sqrt();
             for (j, x) in row.iter_mut().enumerate() {
-                *x = (*x - mean) * inv * gamma.data()[j] + beta.data()[j];
+                *x = (*x - mean) * inv * g[j] + b[j];
             }
-        }
+        });
         out
     }
 }

@@ -208,18 +208,47 @@ impl Tensor {
     // ---------- elementwise ----------
 
     /// Apply `f` to every element.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        let mut data = vec![0.0f32; self.data.len()];
+        if data.len() < ELEM_CHUNK {
+            for (o, &x) in data.iter_mut().zip(&self.data) {
+                *o = f(x);
+            }
+        } else {
+            let src = &self.data;
+            qt_par::parallel_for_slices_mut(&mut data, ELEM_CHUNK, |_, off, out| {
+                let end = off + out.len();
+                for (o, &x) in out.iter_mut().zip(&src[off..end]) {
+                    *o = f(x);
+                }
+            });
+        }
         Self {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
     }
 
     /// Apply `f` in place to every element.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        if self.data.len() < ELEM_CHUNK {
+            for x in &mut self.data {
+                *x = f(*x);
+            }
+        } else {
+            qt_par::parallel_for_slices_mut(&mut self.data, ELEM_CHUNK, |_, _, chunk| {
+                for x in chunk {
+                    *x = f(*x);
+                }
+            });
         }
+    }
+
+    /// Consuming [`Tensor::map`]: reuses the allocation when the caller
+    /// hands over ownership.
+    pub fn mapv(mut self, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        self.map_inplace(f);
+        self
     }
 
     /// Combine with another tensor elementwise under broadcasting.
@@ -227,17 +256,26 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the shapes are not broadcast-compatible.
-    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32 + Sync) -> Self {
         if self.shape == other.shape {
             // fast path
+            let mut data = vec![0.0f32; self.data.len()];
+            if data.len() < ELEM_CHUNK {
+                for ((o, &a), &b) in data.iter_mut().zip(&self.data).zip(&other.data) {
+                    *o = f(a, b);
+                }
+            } else {
+                let (sa, sb) = (&self.data, &other.data);
+                qt_par::parallel_for_slices_mut(&mut data, ELEM_CHUNK, |_, off, out| {
+                    let end = off + out.len();
+                    for ((o, &a), &b) in out.iter_mut().zip(&sa[off..end]).zip(&sb[off..end]) {
+                        *o = f(a, b);
+                    }
+                });
+            }
             return Self {
                 shape: self.shape.clone(),
-                data: self
-                    .data
-                    .iter()
-                    .zip(&other.data)
-                    .map(|(&a, &b)| f(a, b))
-                    .collect(),
+                data,
             };
         }
         let out_shape = broadcast_shapes(&self.shape, &other.shape);
@@ -413,13 +451,28 @@ impl Tensor {
 
     /// Evaluate elementwise against a broadcast companion, writing into self
     /// (used by optimizers). Shapes must match exactly.
-    pub fn zip_inplace(&mut self, other: &Self, f: impl Fn(f32, f32) -> f32) {
+    pub fn zip_inplace(&mut self, other: &Self, f: impl Fn(f32, f32) -> f32 + Sync) {
         assert_eq!(self.shape, other.shape, "zip_inplace shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a = f(*a, b);
+        if self.data.len() < ELEM_CHUNK {
+            for (a, &b) in self.data.iter_mut().zip(&other.data) {
+                *a = f(*a, b);
+            }
+        } else {
+            let src = &other.data;
+            qt_par::parallel_for_slices_mut(&mut self.data, ELEM_CHUNK, |_, off, chunk| {
+                let end = off + chunk.len();
+                for (a, &b) in chunk.iter_mut().zip(&src[off..end]) {
+                    *a = f(*a, b);
+                }
+            });
         }
     }
 }
+
+/// Elementwise-op chunk length. Fixed (never thread-count-dependent) so
+/// chunk boundaries — and therefore the work decomposition — are identical
+/// at every `QT_THREADS`.
+const ELEM_CHUNK: usize = 16 * 1024;
 
 /// GELU (tanh approximation).
 fn gelu_scalar(x: f32) -> f32 {

@@ -8,21 +8,42 @@
 //! JSON writer sorts object keys — so two runs with the same seed
 //! serialise byte-identically and `diff run_a.json run_b.json` is a
 //! meaningful regression check across PRs.
+//!
+//! The one deliberately host-dependent field is the `host` section
+//! (effective `qt-par` pool size and the raw `QT_THREADS` setting),
+//! recorded so a manifest says how the run was executed. Because every
+//! kernel is bitwise-deterministic for any thread count, stripping that
+//! section — [`RunManifest::value_deterministic`] /
+//! [`RunManifest::render_deterministic`] — must yield identical bytes
+//! across thread counts; the test suite enforces exactly that.
 
 use crate::session::TraceSession;
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
 
 /// Manifest schema version, bumped on any breaking field change.
-pub const MANIFEST_VERSION: u64 = 1;
+/// Version 2 added the `host` section.
+pub const MANIFEST_VERSION: u64 = 2;
 
 /// Builder of the deterministic end-of-run manifest.
 #[derive(Debug, Clone, Copy)]
 pub struct RunManifest;
 
 impl RunManifest {
-    /// Assemble the manifest as a JSON value.
+    /// Assemble the manifest as a JSON value, including the `host`
+    /// section.
     pub fn value(session: &TraceSession) -> Value {
+        Self::assemble(session, true)
+    }
+
+    /// Assemble the manifest without the host-dependent `host` section:
+    /// the bytes that must match across thread counts (and machines) for
+    /// a given seed.
+    pub fn value_deterministic(session: &TraceSession) -> Value {
+        Self::assemble(session, false)
+    }
+
+    fn assemble(session: &TraceSession, with_host: bool) -> Value {
         let mut meta = BTreeMap::new();
         for (k, v) in session.meta() {
             meta.insert(k.clone(), Value::String(v.clone()));
@@ -114,21 +135,39 @@ impl RunManifest {
             );
         }
 
-        json!({
-            "version": MANIFEST_VERSION,
-            "name": session.name(),
-            "meta": Value::Object(meta),
-            "counts": json!({"spans": spans, "instants": instants}),
-            "quant_sites": Value::Object(quant),
-            "gemm_sites": Value::Object(gemm),
-            "vector_sites": Value::Object(vector),
-            "scaler": Value::Array(scaler),
-            "metrics": json!({
+        let mut top = BTreeMap::new();
+        top.insert("version".into(), Value::from(MANIFEST_VERSION));
+        top.insert("name".into(), Value::String(session.name().to_string()));
+        top.insert("meta".into(), Value::Object(meta));
+        top.insert(
+            "counts".into(),
+            json!({"spans": spans, "instants": instants}),
+        );
+        top.insert("quant_sites".into(), Value::Object(quant));
+        top.insert("gemm_sites".into(), Value::Object(gemm));
+        top.insert("vector_sites".into(), Value::Object(vector));
+        top.insert("scaler".into(), Value::Array(scaler));
+        top.insert(
+            "metrics".into(),
+            json!({
                 "counters": Value::Object(counters),
                 "gauges": Value::Object(gauges),
                 "hists": Value::Object(hists),
             }),
-        })
+        );
+        if with_host {
+            top.insert(
+                "host".into(),
+                json!({
+                    "threads": qt_par::threads() as u64,
+                    "qt_threads": match qt_par::qt_threads_env() {
+                        Some(s) => Value::String(s),
+                        None => Value::Null,
+                    },
+                }),
+            );
+        }
+        Value::Object(top)
     }
 
     /// Serialize the manifest, pretty-printed with a trailing newline —
@@ -136,6 +175,15 @@ impl RunManifest {
     pub fn render(session: &TraceSession) -> String {
         let mut s =
             serde_json::to_string_pretty(&Self::value(session)).expect("serializable");
+        s.push('\n');
+        s
+    }
+
+    /// [`RunManifest::render`] without the `host` section — byte-identical
+    /// across thread counts for the same seeded run.
+    pub fn render_deterministic(session: &TraceSession) -> String {
+        let mut s = serde_json::to_string_pretty(&Self::value_deterministic(session))
+            .expect("serializable");
         s.push('\n');
         s
     }
@@ -202,5 +250,29 @@ mod tests {
         let s = RunManifest::render(&run("fp8"));
         let v = serde_json::from_str(&s).unwrap();
         assert_eq!(v["name"], "m");
+    }
+
+    #[test]
+    fn host_section_records_pool_and_is_stripped_deterministically() {
+        let s = run("posit8");
+        let v = RunManifest::value(&s);
+        assert_eq!(
+            v["host"]["threads"].as_u64(),
+            Some(qt_par::threads() as u64)
+        );
+        let d = RunManifest::value_deterministic(&s);
+        assert!(
+            matches!(d["host"], Value::Null),
+            "deterministic view must omit host"
+        );
+        // Stripping host is the only difference between the two renders.
+        let det = RunManifest::render_deterministic(&s);
+        assert!(!det.contains("\"host\""));
+        assert!(RunManifest::render(&s).contains("\"host\""));
+        // And the deterministic bytes do not depend on the pool size.
+        let a = qt_par::with_threads(1, || RunManifest::render_deterministic(&run("posit8")));
+        let b = qt_par::with_threads(3, || RunManifest::render_deterministic(&run("posit8")));
+        assert_eq!(a, b);
+        assert_eq!(a, det);
     }
 }

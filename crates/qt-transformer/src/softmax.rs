@@ -84,18 +84,25 @@ impl Softmax {
                 approx_recip,
                 exp,
             } => {
+                // Rows are independent; chunk over whole rows with a fixed
+                // chunk length so output is identical at any thread count.
+                const ROW_CHUNK: usize = 4 * 1024;
                 let mut out = scores.clone();
                 let last = *scores.shape().last().expect("softmax of scalar");
                 let rows = scores.len() / last;
-                for r in 0..rows {
-                    let row = &mut out.data_mut()[r * last..(r + 1) * last];
-                    row_forward(
-                        row,
-                        self.exp_lut.as_deref(),
-                        approx_exp,
-                        approx_recip,
-                        exp,
-                    );
+                let lut = self.exp_lut.as_deref();
+                let data = out.data_mut();
+                if rows <= 1 || data.len() < ROW_CHUNK {
+                    for row in data.chunks_mut(last) {
+                        row_forward(row, lut, approx_exp, approx_recip, exp);
+                    }
+                } else {
+                    let rows_per = (ROW_CHUNK / last).max(1);
+                    qt_par::parallel_for_slices_mut(data, rows_per * last, |_, _, chunk| {
+                        for row in chunk.chunks_mut(last) {
+                            row_forward(row, lut, approx_exp, approx_recip, exp);
+                        }
+                    });
                 }
                 out
             }

@@ -1,0 +1,193 @@
+//! The qt-par determinism contract, cross-crate: every parallelized
+//! kernel must produce bitwise-identical results at every thread count,
+//! because chunk boundaries and accumulation order depend only on the
+//! input shape — never on the pool size.
+
+use proptest::prelude::*;
+use qt_posit::UnderflowPolicy;
+use qt_quant::{ElemFormat, FakeQuant};
+use qt_tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Dimension set the GEMM sweep draws from: unit, odd, prime-ish, and a
+/// multiple of every tile parameter.
+const DIMS: [usize; 4] = [1, 3, 17, 64];
+
+proptest! {
+    #[test]
+    fn matmul_bitwise_equal_across_thread_counts(
+        mi in 0usize..4, ki in 0usize..4, ni in 0usize..4, seed in 0u64..1 << 32
+    ) {
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let reference = qt_par::serial(|| a.matmul(&b));
+        for t in 1..=8usize {
+            let out = qt_par::with_threads(t, || a.matmul(&b));
+            prop_assert_eq!(out.data(), reference.data(), "m={} k={} n={} t={}", m, k, n, t);
+        }
+    }
+
+    #[test]
+    fn batched_broadcast_matmul_deterministic(seed in 0u64..1 << 32) {
+        // Broadcast batch (B shared across the batch axis) exercises the
+        // pack-reuse path; batch × row-block units split the output.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[3, 64, 17], &mut rng);
+        let b = Tensor::randn(&[17, 64], &mut rng);
+        let reference = qt_par::serial(|| a.matmul(&b));
+        for t in [2, 4, 8] {
+            let out = qt_par::with_threads(t, || a.matmul(&b));
+            prop_assert_eq!(out.data(), reference.data(), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn quantize_bitwise_equal_across_thread_counts(seed in 0u64..1 << 32) {
+        // 12288 elements: crosses the quantizer's parallel chunk size, so
+        // health partials really are merged from multiple chunks.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Tensor::randn(&[3, 64, 64], &mut rng).mul_scalar(16.0);
+        x.data_mut()[7] = f32::NAN;
+        x.data_mut()[9000] = f32::INFINITY;
+        for fmt in [ElemFormat::P8E1, ElemFormat::E4M3] {
+            let q = FakeQuant::new(fmt);
+            let (rv, rh) = qt_par::serial(|| q.quantize_with_health(&x));
+            for t in [2, 4, 8] {
+                let (v, h) = qt_par::with_threads(t, || q.quantize_with_health(&x));
+                let (bits_a, bits_b): (Vec<u32>, Vec<u32>) = (
+                    v.data().iter().map(|f| f.to_bits()).collect(),
+                    rv.data().iter().map(|f| f.to_bits()).collect(),
+                );
+                prop_assert_eq!(bits_a, bits_b, "{:?} t={}", fmt, t);
+                prop_assert_eq!(h, rh, "{:?} t={}: health partials must merge in order", fmt, t);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_and_layernorm_deterministic(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(&[96, 64], &mut rng);
+        let gamma = Tensor::randn(&[64], &mut rng);
+        let beta = Tensor::randn(&[64], &mut rng);
+        let (rs, rl) = qt_par::serial(|| {
+            (x.softmax_lastdim(), x.layernorm_lastdim(&gamma, &beta, 1e-5))
+        });
+        for t in [2, 8] {
+            let (s, l) = qt_par::with_threads(t, || {
+                (x.softmax_lastdim(), x.layernorm_lastdim(&gamma, &beta, 1e-5))
+            });
+            prop_assert_eq!(s.data(), rs.data(), "softmax t={}", t);
+            prop_assert_eq!(l.data(), rl.data(), "layernorm t={}", t);
+        }
+    }
+}
+
+/// Every bf16-spaced f32 (all 2^16 top-16-bit patterns, i.e. every LUT
+/// cell's low endpoint) must quantize identically through the
+/// direct-index LUT and the reference scalar encoder, for every 8-/9-bit
+/// format and both underflow policies.
+#[test]
+fn lut_matches_reference_on_all_bf16_spaced_inputs() {
+    for fmt in [
+        ElemFormat::P8E0,
+        ElemFormat::P8E1,
+        ElemFormat::P8E2,
+        ElemFormat::E4M3,
+        ElemFormat::E5M2,
+        ElemFormat::E5M3,
+    ] {
+        for policy in [UnderflowPolicy::RoundTiesToZero, UnderflowPolicy::Standard] {
+            let q = FakeQuant::with_policy(fmt, policy);
+            for cell in 0u32..=0xFFFF {
+                let x = f32::from_bits(cell << 16);
+                if !x.is_finite() {
+                    // Non-finite inputs go through the guard policy, not
+                    // the LUT; covered by the guard tests.
+                    continue;
+                }
+                let got = q.quantize_scalar(x);
+                let want = fmt.quantize_scalar_with(x, policy);
+                // Value equality: the table stores its single zero as
+                // -0.0, so zero results differ from the reference only in
+                // sign bit (pre-existing; all non-zero values are exact).
+                assert_eq!(
+                    got, want,
+                    "{fmt:?} {policy:?} x={x:e} (cell {cell:#06x})"
+                );
+                if want != 0.0 {
+                    assert_eq!(got.to_bits(), want.to_bits(), "{fmt:?} {policy:?} x={x:e}");
+                }
+            }
+        }
+    }
+}
+
+/// The counter feeding the `par.chunk_tasks` metric must not depend on
+/// the pool size — chunk decomposition is a function of the workload.
+#[test]
+fn chunk_task_counter_is_thread_count_invariant() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let a = Tensor::randn(&[64, 64], &mut rng);
+    let b = Tensor::randn(&[64, 64], &mut rng);
+    let count_at = |t: usize| {
+        qt_par::with_threads(t, || {
+            let before = qt_par::tasks_executed();
+            let _ = a.matmul(&b);
+            let _ = FakeQuant::new(ElemFormat::P8E1).quantize(&a);
+            qt_par::tasks_executed() - before
+        })
+    };
+    let serial = count_at(1);
+    for t in [2, 4, 8] {
+        assert_eq!(count_at(t), serial, "t={t}");
+    }
+}
+
+/// Validate the `perf_kernels` output schema. Runs over the file named
+/// by `QT_VALIDATE_KERNELS` (CI's perf-smoke job runs the binary first);
+/// skips silently when the variable is unset.
+#[test]
+fn env_named_kernels_json_validates() {
+    let Ok(path) = std::env::var("QT_VALIDATE_KERNELS") else {
+        return;
+    };
+    let text = std::fs::read_to_string(&path).expect("BENCH_kernels.json readable");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("BENCH_kernels.json parses");
+    assert_eq!(v["bench"].as_str(), Some("perf_kernels"));
+    assert!(v["version"].as_u64().is_some());
+    assert!(matches!(v["mode"].as_str(), Some("quick") | Some("full")));
+    assert!(v["threads_available"].as_u64().unwrap_or(0) >= 1);
+    let sweep = v["sweep"].as_array().expect("sweep array");
+    assert!(!sweep.is_empty());
+    for section in ["gemm", "quantize"] {
+        let rows = v[section].as_array().unwrap_or_else(|| panic!("{section} array"));
+        assert!(!rows.is_empty(), "{section} rows");
+        for row in rows {
+            let ms = row["ms"].as_object().unwrap_or_else(|| panic!("{section}.ms"));
+            assert_eq!(ms.len(), sweep.len(), "{section}: one timing per sweep point");
+            for (k, t) in ms {
+                assert!(t.as_f64().unwrap_or(-1.0) >= 0.0, "{section}.ms.{k}");
+            }
+        }
+    }
+    assert_eq!(v["forward"]["deterministic"].as_bool(), Some(true));
+    assert!(v["forward"]["perplexity"].as_f64().unwrap_or(-1.0) > 0.0);
+}
+
+/// Owned (in-place) quantization must agree with the borrowed path.
+#[test]
+fn owned_quantize_matches_borrowed() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = Tensor::randn(&[4096], &mut rng).mul_scalar(32.0);
+    for fmt in [ElemFormat::P8E1, ElemFormat::E5M2] {
+        let q = FakeQuant::new(fmt);
+        assert_eq!(q.quantize_owned(x.clone()).data(), q.quantize(&x).data());
+        assert_eq!(
+            q.quantize_scaled_owned(x.clone(), 3.5).data(),
+            q.quantize_scaled(&x, 3.5).data()
+        );
+    }
+}

@@ -126,6 +126,11 @@ fn validate_manifest(v: &Value) {
     assert!(v["metrics"]["counters"].as_object().is_some());
     assert!(v["metrics"]["gauges"].as_object().is_some());
     assert!(v["metrics"]["hists"].as_object().is_some());
+    // v2: the host section records the qt-par pool ("host" is absent only
+    // from the deterministic view, which this validator never sees).
+    let host = v["host"].as_object().expect("host section");
+    assert!(v["host"]["threads"].as_u64().unwrap_or(0) >= 1, "host.threads");
+    assert!(host.contains_key("qt_threads"), "host.qt_threads");
 }
 
 /// A small traced run: quantized forward passes plus a few fine-tuning
@@ -170,6 +175,17 @@ fn same_seed_manifests_are_byte_identical() {
     let a = RunManifest::render(&traced_run(7));
     let b = RunManifest::render(&traced_run(7));
     assert_eq!(a, b, "manifest must not depend on wall time");
+}
+
+#[test]
+fn manifests_deterministic_across_thread_counts() {
+    // The full traced run — forward, backward, optimizer, cycle model —
+    // must produce byte-identical deterministic manifests whether the
+    // kernels ran serially or on a pool.
+    let a = qt_par::with_threads(1, || RunManifest::render_deterministic(&traced_run(7)));
+    let b = qt_par::with_threads(4, || RunManifest::render_deterministic(&traced_run(7)));
+    assert_eq!(a, b, "kernels must be bitwise-deterministic in thread count");
+    assert!(!a.contains("\"host\""));
 }
 
 #[test]
