@@ -39,6 +39,11 @@ fn main() {
             let scheme = QuantScheme::posit8()
                 .with_underflow(policy)
                 .with_scaling(scaling);
+            let run_id = format!(
+                "abl01-{}-{}",
+                if matches!(policy, UnderflowPolicy::Standard) { "std" } else { "rtz" },
+                if matches!(scaling, ScalingMode::None) { "none" } else { "amax" },
+            );
             let model = lora_finetune_classify(
                 &pretrained,
                 &task,
@@ -48,6 +53,7 @@ fn main() {
                 2e-3,
                 opts.seed,
                 None,
+                opts.ckpt_spec(&run_id).as_ref(),
             );
             let eval = task.dataset(eval_n, opts.seed ^ 0xEEE);
             let batches: Vec<_> = eval.chunks(32).map(|c| task.batch(c)).collect();

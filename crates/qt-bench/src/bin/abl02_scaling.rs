@@ -46,12 +46,13 @@ fn main() {
             2e-3,
             opts.seed,
             None,
+            opts.ckpt_spec("abl02-bf16-reference").as_ref(),
         );
         let eval = task.dataset(eval_n, opts.seed ^ 0xEEE);
         let batches: Vec<_> = eval.chunks(32).map(|c| task.batch(c)).collect();
         evaluate_classify(&model, &QuantCtx::inference(QuantScheme::bf16()), &batches)
     };
-    for (name, scaling) in modes {
+    for (mi, (name, scaling)) in modes.into_iter().enumerate() {
         let scheme = QuantScheme::posit8().with_scaling(scaling);
         let model = lora_finetune_classify(
             &pretrained,
@@ -62,6 +63,7 @@ fn main() {
             2e-3,
             opts.seed,
             None,
+            opts.ckpt_spec(&format!("abl02-posit8-mode{mi}")).as_ref(),
         );
         let eval = task.dataset(eval_n, opts.seed ^ 0xEEE);
         let batches: Vec<_> = eval.chunks(32).map(|c| task.batch(c)).collect();

@@ -185,10 +185,11 @@ fn main() {
         "quantize": Value::Array(quant_rows),
         "forward": forward_row,
     });
-    std::fs::create_dir_all(&opts.out_dir).expect("create out dir");
     let path = opts.out_dir.join("BENCH_kernels.json");
     let mut text = serde_json::to_string_pretty(&doc).expect("serializable");
     text.push('\n');
-    std::fs::write(&path, text).expect("write BENCH_kernels.json");
+    // Atomic write (qt-ckpt): downstream tooling never reads a
+    // half-written benchmark file, even if this process dies here.
+    qt_ckpt::atomic_write_str(&path, &text).expect("write BENCH_kernels.json");
     eprintln!("[perf_kernels] wrote {}", path.display());
 }

@@ -8,6 +8,15 @@
 //!
 //! Reproduction target: every LoRA variant lands within ~1 point of the
 //! BF16 LoRA run, with a tiny fraction of the trainable parameters.
+//!
+//! Extra flags beyond the shared harness:
+//!
+//! * `--models mobilebert,roberta` — substring filter on the model list
+//!
+//! With `--checkpoint-dir DIR` each LoRA fine-tune persists its training
+//! state under `DIR/<model>-<method>-<task>/`; `--resume` picks every run
+//! back up from its newest intact checkpoint, reproducing the
+//! uninterrupted run's table bitwise (see DESIGN.md §10).
 
 use qt_bench::{
     classify_task_for, lora_finetune_classify, lora_finetune_span, pretrain_classify,
@@ -18,11 +27,37 @@ use qt_quant::QuantScheme;
 use qt_train::{evaluate_classify, evaluate_span_f1};
 use qt_transformer::{LoraConfig, QuantCtx, TransformerConfig};
 
+/// `"LoRA Posit8 Approx"` → `"lora-posit8-approx"`: run ids double as
+/// directory names, so keep them to lowercase alphanumerics and dashes.
+fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let opts = Opts::parse();
     let pre_steps = opts.pick(400, 80);
     let ft_steps = opts.pick(150, 40);
     let eval_n = opts.pick(256, 64);
+    let mut model_filter: Vec<String> = Vec::new();
+    let mut it = opts.extra.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--models" => {
+                if let Some(v) = it.next() {
+                    model_filter = v.split(',').map(|m| m.trim().to_lowercase()).collect();
+                }
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
     let trace = opts.open_trace("tab07_lora_finetune");
 
     let methods: [(&str, Option<QuantScheme>); 5] = [
@@ -48,6 +83,14 @@ fn main() {
             LoraConfig::roberta_default(),
         ),
     ] {
+        if !model_filter.is_empty()
+            && !model_filter
+                .iter()
+                .any(|f| cfg.name.to_lowercase().contains(f))
+        {
+            eprintln!("[tab07] skipping {} (--models filter)", cfg.name);
+            continue;
+        }
         eprintln!("[tab07] model {}…", cfg.name);
         // Pretrain per task (the "checkpoint" each LoRA row starts from).
         let glue_tasks: Vec<_> = ClassifyKind::ALL
@@ -68,19 +111,28 @@ fn main() {
             for (task, pretrained) in glue_tasks.iter().zip(&glue_pretrained) {
                 let (model, mode) = match scheme {
                     None => (pretrained.clone(), qt_transformer::TrainMode::Full),
-                    Some(s) => (
-                        lora_finetune_classify(
-                            pretrained,
-                            task,
-                            *s,
-                            lora,
-                            ft_steps,
-                            2e-3,
-                            opts.seed ^ mi as u64,
-                            trace.as_ref(),
-                        ),
-                        qt_transformer::TrainMode::Lora,
-                    ),
+                    Some(s) => {
+                        let run_id = format!(
+                            "{}-{}-{}",
+                            slug(cfg.name),
+                            slug(method),
+                            slug(&format!("{:?}", task.kind))
+                        );
+                        (
+                            lora_finetune_classify(
+                                pretrained,
+                                task,
+                                *s,
+                                lora,
+                                ft_steps,
+                                2e-3,
+                                opts.seed ^ mi as u64,
+                                trace.as_ref(),
+                                opts.ckpt_spec(&run_id).as_ref(),
+                            ),
+                            qt_transformer::TrainMode::Lora,
+                        )
+                    }
                 };
                 trainable = model.trainable_params(mode);
                 let eval = task.dataset(eval_n, opts.seed ^ 0xEEE);
@@ -93,16 +145,20 @@ fn main() {
             // SQuAD column
             let span_model = match scheme {
                 None => span_pretrained.clone(),
-                Some(s) => lora_finetune_span(
-                    &span_pretrained,
-                    &span_task,
-                    *s,
-                    lora,
-                    ft_steps,
-                    2e-3,
-                    opts.seed ^ mi as u64,
-                    trace.as_ref(),
-                ),
+                Some(s) => {
+                    let run_id = format!("{}-{}-squad", slug(cfg.name), slug(method));
+                    lora_finetune_span(
+                        &span_pretrained,
+                        &span_task,
+                        *s,
+                        lora,
+                        ft_steps,
+                        2e-3,
+                        opts.seed ^ mi as u64,
+                        trace.as_ref(),
+                        opts.ckpt_spec(&run_id).as_ref(),
+                    )
+                }
             };
             let eval = span_task.dataset(eval_n, opts.seed ^ 0xEEE);
             let eval_scheme = scheme.unwrap_or_else(QuantScheme::fp32);

@@ -14,6 +14,9 @@
 //! * `--formats p8e0,p8e1,p8e2,e4m3,e5m2` — storage formats to sweep
 //! * `--trials N` — corruption trials averaged per cell
 //! * `--ber B` — SRAM bit-error rate for the traffic-derived budget column
+//! * `--ckpt-bers 1e-7,1e-6,1e-5` — BERs for the checkpoint-corruption
+//!   companion table (storage-medium faults against serialized qt-ckpt
+//!   files; detection must be 100%)
 //! * `--json PATH` — also write the table's JSON form to an explicit path
 //!
 //! Identical seed and flags ⇒ identical table.
@@ -22,7 +25,10 @@ use qt_accel::{Accelerator, SramFaultModel, SystolicSim};
 use qt_bench::{classify_task_for, datapath_for, pretrain_classify, Opts, Table};
 use qt_datagen::ClassifyKind;
 use qt_quant::{ElemFormat, QuantScheme};
-use qt_robust::{run_campaign, weight_traffic_budget, CampaignConfig, CodeFormat};
+use qt_robust::{
+    run_campaign, run_ckpt_campaign, weight_traffic_budget, CampaignConfig, CkptCampaignConfig,
+    CodeFormat,
+};
 use qt_train::evaluate_classify;
 use qt_transformer::{QuantCtx, TransformerConfig};
 
@@ -50,11 +56,21 @@ fn main() {
     // model so the budget column is non-degenerate; override with --ber.
     let mut ber = 1e-4f64;
     let mut json_out: Option<std::path::PathBuf> = None;
+    let mut ckpt_cfg = CkptCampaignConfig::new(opts.seed);
+    if opts.quick {
+        ckpt_cfg.trials = 2;
+    }
 
     let mut it = opts.extra.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json_out = it.next().map(Into::into),
+            "--ckpt-bers" => {
+                if let Some(v) = it.next() {
+                    ckpt_cfg.bit_error_rates =
+                        v.split(',').filter_map(|x| x.parse().ok()).collect();
+                }
+            }
             "--rates" => {
                 if let Some(v) = it.next() {
                     cfg.flip_rates = v.split(',').filter_map(|x| x.parse().ok()).collect();
@@ -150,5 +166,50 @@ fn main() {
         table.write_json_to(path).expect("write --json output");
         eprintln!("[tab09] wrote {}", path.display());
     }
+
+    // Companion sweep: the same upsets aimed at the *durable* copy of
+    // training state — serialized qt-ckpt files — where the question is
+    // not graceful degradation but absolute detection plus recovery via
+    // generation fallback.
+    assert!(
+        !ckpt_cfg.bit_error_rates.is_empty(),
+        "need at least one checkpoint BER (--ckpt-bers)"
+    );
+    eprintln!(
+        "[tab09] checkpoint-corruption campaign: {} formats × {} BERs × {} trials",
+        ckpt_cfg.formats.len(),
+        ckpt_cfg.bit_error_rates.len(),
+        ckpt_cfg.trials
+    );
+    let ckpt_cells = run_ckpt_campaign(&ckpt_cfg, &model);
+    let mut ckpt_table = Table::new(
+        "Table 9b: checkpoint corruption — detection and generation fallback",
+        &[
+            "Format", "BER", "Bytes", "Corrupted", "Detected", "Silent", "Recovery", "Depth",
+        ],
+    );
+    for cell in &ckpt_cells {
+        ckpt_table.row(&[
+            format!("{:?}", cell.format),
+            format!("{:.0e}", cell.ber),
+            format!("{}", cell.bytes),
+            format!("{}", cell.corrupted_files),
+            format!("{:.0}%", 100.0 * cell.detection_rate()),
+            format!("{}", cell.silent),
+            format!("{:.0}%", 100.0 * cell.recovery_rate()),
+            format!("{:.2}", cell.mean_fallback_depth),
+        ]);
+        // The envelope's integrity guarantee: a corrupt checkpoint must
+        // never load. Fail the binary loudly if it ever does.
+        assert_eq!(
+            cell.silent, 0,
+            "corrupt checkpoint loaded silently ({:?} @ {:.0e})",
+            cell.format, cell.ber
+        );
+    }
+    ckpt_table.print();
+    ckpt_table
+        .write_json(&opts.out_dir, "tab09_ckpt_corruption")
+        .expect("write results");
     opts.close_trace(trace);
 }

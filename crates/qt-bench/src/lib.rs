@@ -43,9 +43,31 @@ pub struct Opts {
     pub trace_out: Option<std::path::PathBuf>,
     /// Deterministic run-manifest output path (`--manifest-out PATH`).
     pub manifest_out: Option<std::path::PathBuf>,
+    /// Root directory for durable training checkpoints
+    /// (`--checkpoint-dir DIR`); each fine-tuning run gets its own
+    /// subdirectory keyed by run id. `None` disables checkpointing.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Checkpoint every N global steps (`--checkpoint-every N`,
+    /// default 25).
+    pub checkpoint_every: usize,
+    /// Resume each fine-tuning run from its newest intact checkpoint
+    /// instead of starting fresh (`--resume`).
+    pub resume: bool,
     /// Arguments the shared parser did not recognise, in order — binaries
     /// with extra flags (e.g. `tab09`'s campaign knobs) consume these.
     pub extra: Vec<String>,
+}
+
+/// Checkpoint policy for one fine-tuning run, derived from [`Opts`] by
+/// [`Opts::ckpt_spec`] — carries the run's private store directory.
+#[derive(Debug, Clone)]
+pub struct CkptSpec {
+    /// Store directory for this run (root dir / run id).
+    pub dir: std::path::PathBuf,
+    /// Save every N global steps.
+    pub every: usize,
+    /// Resume from the newest intact generation before training.
+    pub resume: bool,
 }
 
 impl Opts {
@@ -56,6 +78,9 @@ impl Opts {
         let mut seed = 42u64;
         let mut trace_out = None;
         let mut manifest_out = None;
+        let mut checkpoint_dir = None;
+        let mut checkpoint_every = 25usize;
+        let mut resume = false;
         let mut extra = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -73,6 +98,13 @@ impl Opts {
                 }
                 "--trace-out" => trace_out = args.next().map(Into::into),
                 "--manifest-out" => manifest_out = args.next().map(Into::into),
+                "--checkpoint-dir" => checkpoint_dir = args.next().map(Into::into),
+                "--checkpoint-every" => {
+                    if let Some(n) = args.next() {
+                        checkpoint_every = n.parse().unwrap_or(25).max(1);
+                    }
+                }
+                "--resume" => resume = true,
                 _ => extra.push(a),
             }
         }
@@ -82,8 +114,22 @@ impl Opts {
             seed,
             trace_out,
             manifest_out,
+            checkpoint_dir,
+            checkpoint_every,
+            resume,
             extra,
         }
+    }
+
+    /// Checkpoint policy for the run named `run_id`, or `None` when
+    /// `--checkpoint-dir` was not given. Each run id maps to its own
+    /// subdirectory so concurrent fine-tunes never share a store.
+    pub fn ckpt_spec(&self, run_id: &str) -> Option<CkptSpec> {
+        self.checkpoint_dir.as_ref().map(|root| CkptSpec {
+            dir: root.join(run_id),
+            every: self.checkpoint_every,
+            resume: self.resume,
+        })
     }
 
     /// `full` normally, `quick` under `--quick`.
@@ -124,21 +170,17 @@ impl Opts {
                 .counter_add("par.chunk_tasks", &[], qt_par::tasks_executed());
         }
         let session = trace.borrow();
+        // Atomic writes (qt-ckpt): a crash mid-export never leaves a
+        // truncated trace or manifest behind, and parent dirs are created.
         if let Some(path) = &self.trace_out {
-            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-                let _ = std::fs::create_dir_all(dir);
-            }
-            std::fs::write(path, qt_trace::chrome_trace(&session))
+            qt_ckpt::atomic_write_str(path, &qt_trace::chrome_trace(&session))
                 .unwrap_or_else(|e| eprintln!("trace-out {}: {e}", path.display()));
             let jsonl = path.with_extension("jsonl");
-            std::fs::write(&jsonl, qt_trace::jsonl(&session))
+            qt_ckpt::atomic_write_str(&jsonl, &qt_trace::jsonl(&session))
                 .unwrap_or_else(|e| eprintln!("trace-out {}: {e}", jsonl.display()));
         }
         if let Some(path) = &self.manifest_out {
-            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-                let _ = std::fs::create_dir_all(dir);
-            }
-            std::fs::write(path, RunManifest::render(&session))
+            qt_ckpt::atomic_write_str(path, &RunManifest::render(&session))
                 .unwrap_or_else(|e| eprintln!("manifest-out {}: {e}", path.display()));
         }
         eprintln!("{}", qt_trace::trace_report(&session, 10));

@@ -4,6 +4,8 @@
 //! All pre-training runs in FP32 with AdamW (the "pretrained checkpoint"
 //! the paper downloads); quantized evaluation/fine-tuning happens after.
 
+use crate::CkptSpec;
+use qt_ckpt::CheckpointStore;
 use qt_datagen::{AsrTask, ClassifyKind, ClassifyTask, LmTask, SpanTask};
 use qt_quant::QuantScheme;
 use qt_trace::TraceHandle;
@@ -13,6 +15,40 @@ use qt_transformer::{
 };
 use rand::{rngs::StdRng, SeedableRng};
 use std::rc::Rc;
+
+/// Attach durable checkpointing (and optionally resume) per `spec`;
+/// returns how many data batches the restored state already consumed —
+/// the caller must skip that many so the resumed run replays the exact
+/// remaining data order.
+fn apply_ckpt_spec(
+    mut trainer: Trainer<AdamW>,
+    spec: Option<&CkptSpec>,
+    data_seed: u64,
+    scheme: QuantScheme,
+    task: &str,
+) -> (Trainer<AdamW>, usize) {
+    let Some(spec) = spec else { return (trainer, 0) };
+    let store = CheckpointStore::open(&spec.dir);
+    trainer = trainer
+        .with_checkpointing(store, spec.every, data_seed)
+        .with_checkpoint_meta(vec![
+            ("scheme".to_string(), format!("{scheme:?}")),
+            ("task".to_string(), task.to_string()),
+        ]);
+    if spec.resume {
+        if let Some(info) = trainer.resume_latest().expect("resume from checkpoint") {
+            eprintln!(
+                "[ckpt] resumed {} at global step {} (generation {}, fallback depth {})",
+                spec.dir.display(),
+                trainer.global_step(),
+                info.generation,
+                info.fallback_depth
+            );
+        }
+    }
+    let consumed = trainer.global_step();
+    (trainer, consumed)
+}
 
 /// Pre-train a span-extraction model (SQuAD analogue) in FP32.
 pub fn pretrain_span(
@@ -103,7 +139,11 @@ pub fn pretrain_seq2seq(
 
 /// Fine-tune a pretrained model with LoRA under a scheme; the head is
 /// re-initialised. Returns the adapted model. With `trace`, the run's
-/// steps, losses and scaler history land on that session.
+/// steps, losses and scaler history land on that session. With `ckpt`,
+/// training state is persisted per the spec, and (under `resume`) the
+/// run restarts from its newest intact checkpoint, skipping exactly the
+/// batches the restored state already consumed — so an interrupted and
+/// a straight-through run end bitwise-identical.
 #[allow(clippy::too_many_arguments)]
 pub fn lora_finetune_classify(
     pretrained: &Model,
@@ -114,6 +154,7 @@ pub fn lora_finetune_classify(
     lr: f32,
     seed: u64,
     trace: Option<&TraceHandle>,
+    ckpt: Option<&CkptSpec>,
 ) -> Model {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = pretrained.clone();
@@ -122,9 +163,11 @@ pub fn lora_finetune_classify(
     if let Some(t) = trace {
         qctx = qctx.with_trace(Rc::clone(t));
     }
-    let mut trainer = Trainer::new(model, qctx, TrainMode::Lora, AdamW::new(lr));
-    let data = task.dataset(steps * 16, seed ^ 0x10);
-    for chunk in data.chunks(16).take(steps) {
+    let data_seed = seed ^ 0x10;
+    let trainer = Trainer::new(model, qctx, TrainMode::Lora, AdamW::new(lr));
+    let (mut trainer, consumed) = apply_ckpt_spec(trainer, ckpt, data_seed, scheme, "classify");
+    let data = task.dataset(steps * 16, data_seed);
+    for chunk in data.chunks(16).take(steps).skip(consumed) {
         let (batch, labels) = task.batch(chunk);
         trainer.step_classify(&batch, &labels);
     }
@@ -132,7 +175,8 @@ pub fn lora_finetune_classify(
 }
 
 /// Fine-tune a pretrained span model with LoRA under a scheme. With
-/// `trace`, the run's telemetry lands on that session.
+/// `trace`, the run's telemetry lands on that session; with `ckpt`,
+/// state is persisted / resumed as in [`lora_finetune_classify`].
 #[allow(clippy::too_many_arguments)]
 pub fn lora_finetune_span(
     pretrained: &Model,
@@ -143,6 +187,7 @@ pub fn lora_finetune_span(
     lr: f32,
     seed: u64,
     trace: Option<&TraceHandle>,
+    ckpt: Option<&CkptSpec>,
 ) -> Model {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = pretrained.clone();
@@ -151,9 +196,11 @@ pub fn lora_finetune_span(
     if let Some(t) = trace {
         qctx = qctx.with_trace(Rc::clone(t));
     }
-    let mut trainer = Trainer::new(model, qctx, TrainMode::Lora, AdamW::new(lr));
-    let data = task.dataset(steps * 16, seed ^ 0x11);
-    for chunk in data.chunks(16).take(steps) {
+    let data_seed = seed ^ 0x11;
+    let trainer = Trainer::new(model, qctx, TrainMode::Lora, AdamW::new(lr));
+    let (mut trainer, consumed) = apply_ckpt_spec(trainer, ckpt, data_seed, scheme, "span");
+    let data = task.dataset(steps * 16, data_seed);
+    for chunk in data.chunks(16).take(steps).skip(consumed) {
         let (batch, spans) = task.batch(chunk);
         trainer.step_span(&batch, &spans);
     }

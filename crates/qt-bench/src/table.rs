@@ -1,6 +1,5 @@
 //! Aligned text tables + JSON result files.
 
-use std::io::Write as _;
 use std::path::Path;
 
 /// A result table: printed aligned to stdout and dumped as JSON.
@@ -95,17 +94,17 @@ impl Table {
     }
 
     /// Write the JSON form to an explicit path (creating parent
-    /// directories), for binaries with a `--json <path>` flag.
+    /// directories), for binaries with a `--json <path>` flag. The write
+    /// is atomic (temp + fsync + rename), so a crash mid-write never
+    /// leaves a truncated result file behind.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from creating the directory or file.
     pub fn write_json_to(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            std::fs::create_dir_all(dir)?;
-        }
-        let mut f = std::fs::File::create(path)?;
-        writeln!(f, "{}", serde_json::to_string_pretty(&self.to_value()).expect("serializable"))
+        let mut text = serde_json::to_string_pretty(&self.to_value()).expect("serializable");
+        text.push('\n');
+        qt_ckpt::atomic_write_str(path, &text)
     }
 }
 

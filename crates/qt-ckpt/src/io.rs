@@ -1,0 +1,111 @@
+//! Crash-safe file writes: the one way any artifact in this workspace
+//! reaches disk.
+//!
+//! A plain `fs::write` can be torn by a crash or power loss: the file
+//! exists with partial contents and no way to tell. The atomic recipe —
+//! write a temporary sibling, `fsync` it, `rename` over the destination,
+//! `fsync` the directory — guarantees a reader sees either the old
+//! complete file or the new complete file, never a mixture.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes concurrent writers targeting the same destination.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Atomically replace `path` with `bytes`.
+///
+/// Parent directories are created as needed. The data is durable (synced)
+/// before the rename is attempted, so a crash at any point leaves either
+/// the previous file or the new one — never a torn write.
+///
+/// # Errors
+///
+/// Any I/O error from creating directories, writing, syncing or renaming.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        Some(d) => {
+            std::fs::create_dir_all(d)?;
+            d.to_path_buf()
+        }
+        None => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("atomic_write: path has no file name"))?;
+    let unique = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        name.to_string_lossy(),
+        std::process::id(),
+        unique
+    ));
+    let result = (|| {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        // Make the rename itself durable. Directory fsync is a Unix-ism;
+        // failure here (or on platforms without it) is non-fatal — the
+        // rename is already atomic, only its durability window widens.
+        if let Ok(d) = File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// [`atomic_write`] for text content.
+///
+/// # Errors
+///
+/// Any I/O error from the underlying [`atomic_write`].
+pub fn atomic_write_str(path: &Path, text: &str) -> std::io::Result<()> {
+    atomic_write(path, text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("qt-ckpt-io-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("basic");
+        let path = dir.join("nested/out.txt");
+        atomic_write_str(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        atomic_write_str(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leaves_no_temp_files() {
+        let dir = tmp_dir("clean");
+        let path = dir.join("out.bin");
+        atomic_write(&path, &[1, 2, 3]).unwrap();
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(entries, vec!["out.bin".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

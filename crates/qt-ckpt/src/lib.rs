@@ -1,0 +1,38 @@
+//! # qt-ckpt — durable, checksummed training checkpoints
+//!
+//! Crash-safety layer for the 8-bit transformer reproduction (DESIGN.md
+//! §10). Zero dependencies. Three guarantees:
+//!
+//! 1. **Atomicity** — every artifact write (checkpoints, bench JSON,
+//!    traces, manifests) goes through [`atomic_write`]: temp sibling,
+//!    fsync, rename. A crash leaves the old file or the new file, never
+//!    a torn one.
+//! 2. **Integrity** — the `QTCK` envelope carries a CRC32 per section
+//!    plus a whole-file CRC; any single flipped bit or truncation is
+//!    detected at load. Corrupt state is *never* silently loaded.
+//! 3. **Exactness** — [`TrainState`] stores `f32` bit patterns, so a
+//!    resumed run continues bitwise-identically to the uninterrupted
+//!    trajectory (given the qt-par deterministic kernels, at any
+//!    `QT_THREADS`).
+//!
+//! [`CheckpointStore`] adds numbered generations, a chained manifest,
+//! keep-last-K retention, and newest→oldest fallback when the newest
+//! generation fails validation.
+
+#![warn(missing_docs)]
+
+mod crc;
+mod error;
+mod format;
+mod io;
+mod state;
+mod store;
+
+pub use crc::{crc32, Crc32};
+pub use error::CkptError;
+pub use format::{parse_envelope, ByteReader, ByteWriter, Envelope, MAGIC, VERSION};
+pub use io::{atomic_write, atomic_write_str};
+pub use state::{
+    AmaxState, Counters, OptState, QuantBlob, ScalerState, SnapshotState, TensorBlob, TrainState,
+};
+pub use store::{CheckpointStore, ManifestEntry, RestoreInfo, SaveInfo};

@@ -1,0 +1,451 @@
+//! On-disk checkpoint store: numbered generations, a chained manifest,
+//! keep-last-K retention, and newest→oldest fallback on corruption.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! <dir>/
+//!   ckpt-00000001.qtck     oldest retained generation
+//!   ckpt-00000002.qtck
+//!   ckpt-00000003.qtck     newest generation
+//!   MANIFEST               chained index (see below)
+//! ```
+//!
+//! The manifest is advisory: recovery never *requires* it. Loading scans
+//! the directory, tries generations newest-first, and fully validates
+//! each candidate before trusting it — so a corrupt manifest can slow
+//! diagnosis but can never cause corrupt state to load.
+
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::error::CkptError;
+use crate::io::{atomic_write, atomic_write_str};
+use crate::state::TrainState;
+
+const CKPT_PREFIX: &str = "ckpt-";
+const CKPT_SUFFIX: &str = ".qtck";
+const MANIFEST_NAME: &str = "MANIFEST";
+const MANIFEST_HEADER: &str = "qtck-manifest v1";
+
+/// Result of a successful [`CheckpointStore::save`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaveInfo {
+    /// Generation number assigned to this checkpoint.
+    pub generation: u64,
+    /// Where the checkpoint landed.
+    pub path: PathBuf,
+    /// Serialized size in bytes.
+    pub bytes: u64,
+    /// Whole-file CRC32 of the serialized checkpoint.
+    pub crc: u32,
+    /// Generations deleted by keep-last-K retention.
+    pub pruned: Vec<u64>,
+}
+
+/// Result of a successful [`CheckpointStore::load_latest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreInfo {
+    /// Generation that loaded cleanly.
+    pub generation: u64,
+    /// File it came from.
+    pub path: PathBuf,
+    /// How many newer generations were rejected before this one.
+    pub fallback_depth: u64,
+    /// The rejected generations, newest first, with why each failed.
+    pub rejected: Vec<(u64, CkptError)>,
+}
+
+/// One validated line of the chained manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Generation number.
+    pub generation: u64,
+    /// Checkpoint file name (relative to the store directory).
+    pub file: String,
+    /// Serialized size in bytes.
+    pub bytes: u64,
+    /// Whole-file CRC32 of the checkpoint.
+    pub crc: u32,
+    /// Chain value: CRC32 over the previous chain value and this entry.
+    pub chain: u32,
+}
+
+/// A directory of numbered, checksummed checkpoint generations.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep_last: usize,
+}
+
+fn gen_file_name(generation: u64) -> String {
+    format!("{CKPT_PREFIX}{generation:08}{CKPT_SUFFIX}")
+}
+
+fn parse_gen_file_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix(CKPT_PREFIX)?.strip_suffix(CKPT_SUFFIX)?;
+    if digits.len() < 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn chain_value(prev_chain: u32, generation: u64, bytes: u64, crc: u32) -> u32 {
+    let mut buf = Vec::with_capacity(20);
+    buf.extend_from_slice(&prev_chain.to_le_bytes());
+    buf.extend_from_slice(&generation.to_le_bytes());
+    buf.extend_from_slice(&bytes.to_le_bytes());
+    buf.extend_from_slice(&crc.to_le_bytes());
+    crc32(&buf)
+}
+
+impl CheckpointStore {
+    /// Open (or designate) a store at `dir`, retaining the last 3
+    /// generations by default. The directory is created on first save.
+    pub fn open(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            keep_last: 3,
+        }
+    }
+
+    /// Retain the newest `keep_last` generations (minimum 1).
+    #[must_use]
+    pub fn with_keep_last(mut self, keep_last: usize) -> Self {
+        self.keep_last = keep_last.max(1);
+        self
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a specific generation's file.
+    pub fn path_for(&self, generation: u64) -> PathBuf {
+        self.dir.join(gen_file_name(generation))
+    }
+
+    /// Generations currently on disk, ascending. Missing directory ⇒ empty.
+    pub fn generations(&self) -> Vec<u64> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut gens: Vec<u64> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| parse_gen_file_name(&e.file_name().to_string_lossy()))
+            .collect();
+        gens.sort_unstable();
+        gens.dedup();
+        gens
+    }
+
+    /// Persist `state` as the next generation, prune beyond keep-last-K,
+    /// and rewrite the chained manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] if the atomic write or manifest update fails.
+    pub fn save(&self, state: &TrainState) -> Result<SaveInfo, CkptError> {
+        let generation = self.generations().last().copied().unwrap_or(0) + 1;
+        let bytes = state.to_bytes();
+        let crc = crc32(&bytes);
+        let path = self.path_for(generation);
+        atomic_write(&path, &bytes)?;
+
+        let mut pruned = Vec::new();
+        let gens = self.generations();
+        if gens.len() > self.keep_last {
+            for &old in &gens[..gens.len() - self.keep_last] {
+                if std::fs::remove_file(self.path_for(old)).is_ok() {
+                    pruned.push(old);
+                }
+            }
+        }
+        self.rewrite_manifest(generation, bytes.len() as u64, crc)?;
+        Ok(SaveInfo {
+            generation,
+            path,
+            bytes: bytes.len() as u64,
+            crc,
+            pruned,
+        })
+    }
+
+    /// Load and fully validate one specific generation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CkptError`] from I/O or validation; corrupt data is never
+    /// returned.
+    pub fn load_generation(&self, generation: u64) -> Result<TrainState, CkptError> {
+        let bytes = std::fs::read(self.path_for(generation))?;
+        TrainState::from_bytes(&bytes)
+    }
+
+    /// Load the newest intact generation, falling back through older ones
+    /// when validation fails.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::NoCheckpoint`] when the store is empty or every
+    /// generation on disk fails validation.
+    pub fn load_latest(&self) -> Result<(TrainState, RestoreInfo), CkptError> {
+        let mut rejected = Vec::new();
+        for &generation in self.generations().iter().rev() {
+            match self.load_generation(generation) {
+                Ok(state) => {
+                    return Ok((
+                        state,
+                        RestoreInfo {
+                            generation,
+                            path: self.path_for(generation),
+                            fallback_depth: rejected.len() as u64,
+                            rejected,
+                        },
+                    ));
+                }
+                Err(e) => rejected.push((generation, e)),
+            }
+        }
+        Err(CkptError::NoCheckpoint)
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST_NAME)
+    }
+
+    /// Rebuild the manifest from prior validated entries plus the new
+    /// generation, dropping pruned entries and advancing the base chain.
+    fn rewrite_manifest(&self, generation: u64, bytes: u64, crc: u32) -> Result<(), CkptError> {
+        let retained: std::collections::BTreeSet<u64> = self.generations().into_iter().collect();
+        // Start from the old manifest when it still validates; otherwise
+        // rebuild from scratch (the manifest is an index, not a source of
+        // truth — a corrupt one is replaced, not trusted).
+        let mut entries = self.read_manifest().unwrap_or_default();
+        entries.retain(|e| retained.contains(&e.generation) && e.generation != generation);
+        entries.push(ManifestEntry {
+            generation,
+            file: gen_file_name(generation),
+            bytes,
+            crc,
+            chain: 0, // recomputed below
+        });
+        // Self-heal: re-derive any retained generation the (possibly
+        // replaced) old manifest no longer lists, from the file itself.
+        for &gen in &retained {
+            if entries.iter().any(|e| e.generation == gen) {
+                continue;
+            }
+            if let Ok(data) = std::fs::read(self.path_for(gen)) {
+                entries.push(ManifestEntry {
+                    generation: gen,
+                    file: gen_file_name(gen),
+                    bytes: data.len() as u64,
+                    crc: crc32(&data),
+                    chain: 0,
+                });
+            }
+        }
+        entries.sort_by_key(|e| e.generation);
+
+        // Base chain encodes how many generations preceded the first
+        // retained entry, so truncating history doesn't reset the chain.
+        let base = entries.first().map_or(0, |e| e.generation.wrapping_sub(1));
+        let base_chain = crc32(&base.to_le_bytes());
+        let mut text = String::new();
+        text.push_str(MANIFEST_HEADER);
+        text.push('\n');
+        text.push_str(&format!("base {base_chain:08x}\n"));
+        let mut chain = base_chain;
+        for e in &mut entries {
+            chain = chain_value(chain, e.generation, e.bytes, e.crc);
+            e.chain = chain;
+            text.push_str(&format!(
+                "gen {} file {} bytes {} crc {:08x} chain {:08x}\n",
+                e.generation, e.file, e.bytes, e.crc, e.chain
+            ));
+        }
+        atomic_write_str(&self.manifest_path(), &text)?;
+        Ok(())
+    }
+
+    /// Parse and verify the chained manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Malformed`] when the manifest is absent, unparsable,
+    /// or its chain does not verify.
+    pub fn read_manifest(&self) -> Result<Vec<ManifestEntry>, CkptError> {
+        let text = std::fs::read_to_string(self.manifest_path())
+            .map_err(|e| CkptError::Malformed(format!("manifest unreadable: {e}")))?;
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err(CkptError::Malformed("manifest: bad header".into()));
+        }
+        let base_line = lines
+            .next()
+            .ok_or_else(|| CkptError::Malformed("manifest: missing base line".into()))?;
+        let base_chain = base_line
+            .strip_prefix("base ")
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| CkptError::Malformed("manifest: bad base line".into()))?;
+
+        let mut entries = Vec::new();
+        let mut chain = base_chain;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let entry = (|| -> Option<ManifestEntry> {
+                if fields.len() != 10
+                    || fields[0] != "gen"
+                    || fields[2] != "file"
+                    || fields[4] != "bytes"
+                    || fields[6] != "crc"
+                    || fields[8] != "chain"
+                {
+                    return None;
+                }
+                Some(ManifestEntry {
+                    generation: fields[1].parse().ok()?,
+                    file: fields[3].to_string(),
+                    bytes: fields[5].parse().ok()?,
+                    crc: u32::from_str_radix(fields[7], 16).ok()?,
+                    chain: u32::from_str_radix(fields[9], 16).ok()?,
+                })
+            })()
+            .ok_or_else(|| CkptError::Malformed(format!("manifest: bad line {line:?}")))?;
+            chain = chain_value(chain, entry.generation, entry.bytes, entry.crc);
+            if chain != entry.chain {
+                return Err(CkptError::Malformed(format!(
+                    "manifest: chain mismatch at generation {}",
+                    entry.generation
+                )));
+            }
+            entries.push(entry);
+        }
+        Ok(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{Counters, TensorBlob};
+
+    fn tmp_store(tag: &str) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!("qt-ckpt-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointStore::open(dir)
+    }
+
+    fn state_at(step: u64) -> TrainState {
+        TrainState {
+            counters: Counters {
+                steps: step,
+                data_seed: 7,
+                ..Counters::default()
+            },
+            params: vec![TensorBlob::from_f32("w", &[2], &[step as f32, -1.5])],
+            ..TrainState::default()
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_generations() {
+        let store = tmp_store("roundtrip");
+        assert!(matches!(store.load_latest(), Err(CkptError::NoCheckpoint)));
+        let s1 = store.save(&state_at(1)).unwrap();
+        let s2 = store.save(&state_at(2)).unwrap();
+        assert_eq!((s1.generation, s2.generation), (1, 2));
+        let (state, info) = store.load_latest().unwrap();
+        assert_eq!(state, state_at(2));
+        assert_eq!(info.generation, 2);
+        assert_eq!(info.fallback_depth, 0);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn keep_last_prunes_oldest() {
+        let store = tmp_store("prune").with_keep_last(2);
+        for step in 1..=5 {
+            store.save(&state_at(step)).unwrap();
+        }
+        assert_eq!(store.generations(), vec![4, 5]);
+        // Manifest still verifies after pruning.
+        let entries = store.read_manifest().unwrap();
+        assert_eq!(
+            entries.iter().map(|e| e.generation).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older() {
+        let store = tmp_store("fallback");
+        store.save(&state_at(1)).unwrap();
+        store.save(&state_at(2)).unwrap();
+        // Flip one bit in the newest generation.
+        let p = store.path_for(2);
+        let mut bytes = std::fs::read(&p).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&p, &bytes).unwrap();
+
+        let (state, info) = store.load_latest().unwrap();
+        assert_eq!(state, state_at(1));
+        assert_eq!(info.generation, 1);
+        assert_eq!(info.fallback_depth, 1);
+        assert_eq!(info.rejected.len(), 1);
+        assert_eq!(info.rejected[0].0, 2);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn all_corrupt_is_no_checkpoint() {
+        let store = tmp_store("allbad");
+        store.save(&state_at(1)).unwrap();
+        let p = store.path_for(1);
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(store.load_latest(), Err(CkptError::NoCheckpoint)));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn tampered_manifest_is_rejected_but_recovery_still_works() {
+        let store = tmp_store("manifest");
+        store.save(&state_at(1)).unwrap();
+        store.save(&state_at(2)).unwrap();
+        let mpath = store.dir().join("MANIFEST");
+        let text = std::fs::read_to_string(&mpath).unwrap();
+        // Tamper: claim generation 2 has different byte length.
+        let tampered: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("gen 2") {
+                    l.replacen("bytes ", "bytes 9", 1)
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(&mpath, tampered).unwrap();
+        assert!(matches!(
+            store.read_manifest(),
+            Err(CkptError::Malformed(_))
+        ));
+        // Recovery does not depend on the manifest.
+        let (state, _) = store.load_latest().unwrap();
+        assert_eq!(state, state_at(2));
+        // The next save replaces the corrupt manifest with a valid one.
+        store.save(&state_at(3)).unwrap();
+        assert_eq!(store.read_manifest().unwrap().len(), 3);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

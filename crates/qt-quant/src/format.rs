@@ -170,6 +170,41 @@ impl ElemFormat {
         v
     }
 
+    /// Round to the grid and return the stored bit code — the word an
+    /// edge accelerator actually holds in SRAM (and what a checkpoint's
+    /// compact `qparams` section stores). `None` for `Fp32`, which is a
+    /// carrier, not a storage format.
+    pub fn encode_code(self, x: f32) -> Option<u16> {
+        Some(match self {
+            ElemFormat::Fp32 => return None,
+            ElemFormat::Bf16 => Bf16::from_f32(x).bits(),
+            ElemFormat::P8E0 => Posit::<8, 0>::from_f32(x).bits(),
+            ElemFormat::P8E1 => Posit::<8, 1>::from_f32(x).bits(),
+            ElemFormat::P8E2 => Posit::<8, 2>::from_f32(x).bits(),
+            ElemFormat::P16E1 => Posit::<16, 1>::from_f32(x).bits(),
+            ElemFormat::E4M3 => E4M3::from_f32(x).bits(),
+            ElemFormat::E5M2 => E5M2::from_f32(x).bits(),
+            ElemFormat::E5M3 => E5M3::from_f32(x).bits(),
+        })
+    }
+
+    /// Decode a stored bit code back to the value the datapath computes
+    /// with. Exception codes decode to NaN (posit NaR, FP8 NaN) or ±∞
+    /// (E5M2). `None` for `Fp32`.
+    pub fn decode_code(self, code: u16) -> Option<f32> {
+        Some(match self {
+            ElemFormat::Fp32 => return None,
+            ElemFormat::Bf16 => Bf16::from_bits(code).to_f32(),
+            ElemFormat::P8E0 => Posit::<8, 0>::from_bits(code).to_f32(),
+            ElemFormat::P8E1 => Posit::<8, 1>::from_bits(code).to_f32(),
+            ElemFormat::P8E2 => Posit::<8, 2>::from_bits(code).to_f32(),
+            ElemFormat::P16E1 => Posit::<16, 1>::from_bits(code).to_f32(),
+            ElemFormat::E4M3 => E4M3::from_bits(code).to_f32(),
+            ElemFormat::E5M2 => E5M2::from_bits(code).to_f32(),
+            ElemFormat::E5M3 => E5M3::from_bits(code).to_f32(),
+        })
+    }
+
     /// Parse a name as printed by [`ElemFormat::name`] (case-insensitive;
     /// also accepts `posit8`, `fp8`, `bf16` style shorthands).
     pub fn parse(s: &str) -> Option<Self> {
@@ -233,6 +268,32 @@ mod tests {
         assert_eq!(ElemFormat::E4M3.finite_values().len(), 253);
         // E5M2: 256 − 2 inf − 6 NaN = 248 → 247 after ±0 dedup.
         assert_eq!(ElemFormat::E5M2.finite_values().len(), 247);
+    }
+
+    #[test]
+    fn code_roundtrip_is_lossless_on_grid() {
+        // encode_code∘decode_code must be the identity on every stored
+        // code: this is what makes the checkpoint `qparams` section exact.
+        for fmt in ElemFormat::ALL {
+            if fmt == ElemFormat::Fp32 {
+                assert!(fmt.encode_code(1.0).is_none());
+                assert!(fmt.decode_code(0).is_none());
+                continue;
+            }
+            let n_codes: u32 = 1 << fmt.bits().min(16);
+            // Exhaustive for ≤ 9-bit formats, sampled for 16-bit ones.
+            let stride = if fmt.bits() <= 9 { 1 } else { 257 };
+            for code in (0..n_codes).step_by(stride) {
+                let v = fmt.decode_code(code as u16).unwrap();
+                if v.is_finite() {
+                    assert_eq!(
+                        fmt.encode_code(v),
+                        Some(code as u16),
+                        "{fmt:?} code {code:#x}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

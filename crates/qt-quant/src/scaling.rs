@@ -131,6 +131,35 @@ impl AmaxTracker {
         self.history.clear();
     }
 
+    /// The history window length this tracker was built with.
+    pub fn history_len(&self) -> usize {
+        self.history_len
+    }
+
+    /// Export every tensor's history, sorted by name — a deterministic
+    /// form suitable for checkpointing.
+    pub fn export_history(&self) -> Vec<(String, Vec<f32>)> {
+        let mut v: Vec<(String, Vec<f32>)> = self
+            .history
+            .iter()
+            .map(|(k, h)| (k.clone(), h.clone()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Rebuild a tracker from exported state (the inverse of
+    /// [`AmaxTracker::export_history`]).
+    pub fn import_history(
+        history_len: usize,
+        entries: impl IntoIterator<Item = (String, Vec<f32>)>,
+    ) -> Self {
+        Self {
+            history_len: history_len.max(1),
+            history: entries.into_iter().collect(),
+        }
+    }
+
     /// Number of tensors currently tracked.
     pub fn tracked(&self) -> usize {
         self.history.len()
@@ -223,6 +252,23 @@ mod tests {
         assert_eq!(tr.flush_poisoned(), 2);
         assert_eq!(tr.tracked(), 1);
         assert_eq!(tr.predicted_amax("good"), Some(2.0));
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_predictions() {
+        let mut tr = AmaxTracker::new(3);
+        tr.record("b", 4.0);
+        tr.record("a", 1.0);
+        tr.record("a", 2.0);
+        let exported = tr.export_history();
+        // Sorted by name, regardless of insertion order.
+        assert_eq!(exported[0].0, "a");
+        assert_eq!(exported[1].0, "b");
+        let back = AmaxTracker::import_history(tr.history_len(), exported);
+        assert_eq!(back.history_len(), 3);
+        assert_eq!(back.predicted_amax("a"), tr.predicted_amax("a"));
+        assert_eq!(back.predicted_amax("b"), tr.predicted_amax("b"));
+        assert_eq!(back.tracked(), tr.tracked());
     }
 
     #[test]

@@ -80,7 +80,7 @@ impl CampaignCell {
 /// Derive a per-cell seed from the campaign seed and the cell's sweep
 /// coordinates (SplitMix64-style mixing), so cells are independent and
 /// sweep order is irrelevant.
-fn cell_seed(master: u64, fmt_idx: usize, rate_idx: usize, trial: usize) -> u64 {
+pub(crate) fn cell_seed(master: u64, fmt_idx: usize, rate_idx: usize, trial: usize) -> u64 {
     let mut z = master
         .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul((fmt_idx as u64).wrapping_add(1)))
         .wrapping_add(0xBF58476D1CE4E5B9u64.wrapping_mul((rate_idx as u64).wrapping_add(1)))

@@ -1,0 +1,293 @@
+//! Checkpoint-corruption campaigns: flip bits in *serialized* training
+//! checkpoints and measure whether the loader's integrity checks catch
+//! the damage, and whether generation fallback recovers an intact state.
+//!
+//! This is the storage-medium counterpart of the SRAM campaigns in
+//! [`crate::campaign`]: there an upset corrupts a live weight word and
+//! the question is what the *datapath* computes; here an upset corrupts
+//! the durable artifact and the question is whether the *loader* can
+//! ever be fooled into resuming from corrupt state. The qt-ckpt envelope
+//! claims detection probability 1 (per-section CRC32 + whole-file CRC);
+//! the campaign verifies that claim empirically across formats × BERs,
+//! and measures the fallback depth needed to find an intact generation.
+
+use crate::campaign::cell_seed;
+use crate::inject::BitFlipInjector;
+use qt_ckpt::{AmaxState, Counters, OptState, QuantBlob, TensorBlob, TrainState};
+use qt_quant::{AmaxTracker, ElemFormat};
+use qt_transformer::Model;
+
+/// Configuration of one checkpoint-corruption sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptCampaignConfig {
+    /// Master seed; each cell derives its own stream (sweep-order
+    /// independent, identical table run-to-run).
+    pub seed: u64,
+    /// Storage formats for the checkpoint's compact `qparams` payload —
+    /// varying the format changes the file's size and bit layout, which
+    /// is exactly what the BER sweep exercises.
+    pub formats: Vec<ElemFormat>,
+    /// Per-bit corruption probabilities applied to the serialized file.
+    pub bit_error_rates: Vec<f64>,
+    /// Independent trials per cell.
+    pub trials: usize,
+    /// Generations in the simulated store (each corrupted independently);
+    /// fallback walks newest → oldest.
+    pub generations: usize,
+}
+
+impl CkptCampaignConfig {
+    /// Default sweep: the three 8-bit storage formats, three BERs
+    /// spanning "rare upset" to "failing medium", 8 trials, 3 generations
+    /// (the store's default retention). Checkpoints for even tiny models
+    /// run to ~10⁶ bits, so BERs above ~1e-5 corrupt essentially every
+    /// generation and only measure detection, not recovery.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            formats: vec![ElemFormat::P8E1, ElemFormat::E4M3, ElemFormat::E5M2],
+            bit_error_rates: vec![1e-7, 1e-6, 1e-5],
+            trials: 8,
+            generations: 3,
+        }
+    }
+}
+
+/// One (format, BER) cell of the checkpoint-corruption table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptCampaignCell {
+    /// Storage format of the checkpoint's quantized payload.
+    pub format: ElemFormat,
+    /// Per-bit corruption probability applied to the file.
+    pub ber: f64,
+    /// Trials run.
+    pub trials: usize,
+    /// Serialized checkpoint size in bytes.
+    pub bytes: u64,
+    /// Generation files that actually received ≥ 1 flipped bit.
+    pub corrupted_files: u64,
+    /// Corrupted files the loader rejected (CRC/structure failure).
+    pub detected: u64,
+    /// Corrupted files that loaded without error — **must be 0**; any
+    /// non-zero value is an integrity hole in the envelope.
+    pub silent: u64,
+    /// Trials where fallback found an intact generation to resume from.
+    pub recovered: u64,
+    /// Mean fallback depth over recovered trials (0 = newest was intact).
+    pub mean_fallback_depth: f64,
+}
+
+impl CkptCampaignCell {
+    /// Fraction of corrupted files the loader caught. The envelope's
+    /// guarantee is that this is exactly 1 whenever any file was hit.
+    pub fn detection_rate(&self) -> f64 {
+        if self.corrupted_files == 0 {
+            return 1.0;
+        }
+        self.detected as f64 / self.corrupted_files as f64
+    }
+
+    /// Fraction of trials that ended with an intact state to resume from.
+    pub fn recovery_rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.recovered as f64 / self.trials as f64
+    }
+}
+
+/// Build a representative checkpoint for `model` with its compact payload
+/// stored in `fmt` codes — the file the corruption sweep attacks.
+pub fn checkpoint_state_for(model: &Model, fmt: ElemFormat) -> TrainState {
+    let params: Vec<TensorBlob> = model
+        .params
+        .iter()
+        .map(|(name, t)| TensorBlob::from_f32(name, t.shape(), t.data()))
+        .collect();
+    let qparams: Vec<QuantBlob> = if fmt == ElemFormat::Fp32 {
+        Vec::new()
+    } else {
+        model
+            .params
+            .iter()
+            .map(|(name, t)| {
+                let scale = AmaxTracker::scale_from_amax(t.amax(), fmt);
+                QuantBlob {
+                    name: name.to_string(),
+                    shape: t.shape().iter().map(|&d| d as u32).collect(),
+                    format: fmt.name().to_string(),
+                    scale_bits: scale.to_bits(),
+                    codes: t
+                        .data()
+                        .iter()
+                        .map(|&x| fmt.encode_code(x * scale).expect("fmt is not Fp32"))
+                        .collect(),
+                }
+            })
+            .collect()
+    };
+    TrainState {
+        meta: vec![("campaign".into(), "ckpt-corruption".into())],
+        counters: Counters {
+            steps: 100,
+            data_seed: 1,
+            ..Counters::default()
+        },
+        params,
+        qparams,
+        opt: OptState {
+            kind: "sgd".into(),
+            scalars: vec![("lr".into(), 1e-3f32.to_bits() as u64)],
+            slots: vec![],
+        },
+        scaler: None,
+        amax: AmaxState::default(),
+        snapshot: None,
+    }
+}
+
+/// Run the sweep: for each format × BER, serialize a checkpoint of the
+/// model, corrupt `generations` independent copies per trial, and tally
+/// loader detections, silent loads, and fallback recovery.
+///
+/// Deterministic: identical `cfg` and model produce an identical table.
+pub fn run_ckpt_campaign(cfg: &CkptCampaignConfig, model: &Model) -> Vec<CkptCampaignCell> {
+    let mut cells = Vec::new();
+    let generations = cfg.generations.max(1);
+    let trials = cfg.trials.max(1);
+    for (fi, &format) in cfg.formats.iter().enumerate() {
+        let state = checkpoint_state_for(model, format);
+        let baseline = state.to_bytes();
+        debug_assert!(TrainState::from_bytes(&baseline).is_ok());
+        for (ri, &ber) in cfg.bit_error_rates.iter().enumerate() {
+            let mut cell = CkptCampaignCell {
+                format,
+                ber,
+                trials,
+                bytes: baseline.len() as u64,
+                corrupted_files: 0,
+                detected: 0,
+                silent: 0,
+                recovered: 0,
+                mean_fallback_depth: 0.0,
+            };
+            let mut depth_sum = 0u64;
+            for trial in 0..trials {
+                let mut inj = BitFlipInjector::new(cell_seed(cfg.seed, fi, ri, trial));
+                // Newest → oldest walk over independently corrupted
+                // generation files, exactly like CheckpointStore::load_latest.
+                let mut fallback_depth = None;
+                for depth in 0..generations {
+                    let mut bytes = baseline.clone();
+                    let flipped = inj.corrupt_bytes(&mut bytes, ber);
+                    match TrainState::from_bytes(&bytes) {
+                        Ok(_) if flipped == 0 => {
+                            if fallback_depth.is_none() {
+                                fallback_depth = Some(depth as u64);
+                            }
+                        }
+                        Ok(_) => {
+                            // Loaded despite flipped bits: integrity hole.
+                            cell.corrupted_files += 1;
+                            cell.silent += 1;
+                            if fallback_depth.is_none() {
+                                fallback_depth = Some(depth as u64);
+                            }
+                        }
+                        Err(_) => {
+                            cell.corrupted_files += 1;
+                            cell.detected += 1;
+                        }
+                    }
+                }
+                if let Some(d) = fallback_depth {
+                    cell.recovered += 1;
+                    depth_sum += d;
+                }
+            }
+            // 0.0 (not NaN) when nothing recovered: keeps cells
+            // PartialEq-comparable and the JSON schema finite.
+            cell.mean_fallback_depth = if cell.recovered > 0 {
+                depth_sum as f64 / cell.recovered as f64
+            } else {
+                0.0
+            };
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_transformer::{TaskHead, TransformerConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn tiny_model() -> Model {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut cfg = TransformerConfig::mobilebert_tiny_sim();
+        cfg.layers = 1;
+        Model::new(cfg, TaskHead::Classify(2), &mut rng)
+    }
+
+    #[test]
+    fn campaign_is_deterministic_and_never_silent() {
+        let model = tiny_model();
+        let cfg = CkptCampaignConfig {
+            seed: 9,
+            formats: vec![ElemFormat::P8E1, ElemFormat::E5M2],
+            bit_error_rates: vec![1e-7, 1e-5],
+            trials: 4,
+            generations: 3,
+        };
+        let a = run_ckpt_campaign(&cfg, &model);
+        let b = run_ckpt_campaign(&cfg, &model);
+        assert_eq!(a, b, "identical seed must produce an identical table");
+        assert_eq!(a.len(), 4);
+        for cell in &a {
+            assert_eq!(cell.silent, 0, "corrupt checkpoint loaded silently");
+            assert_eq!(
+                cell.detected, cell.corrupted_files,
+                "every corrupted file must be detected"
+            );
+            assert_eq!(cell.detection_rate(), 1.0);
+            assert!(cell.bytes > 0);
+        }
+        // At ~10⁶ bits, 1e-5 hits essentially every generation (pure
+        // detection) while 1e-7 leaves intact generations to fall back to.
+        let heavy = a.iter().find(|c| c.ber == 1e-5).unwrap();
+        assert!(heavy.corrupted_files > 0);
+        let light = a.iter().find(|c| c.ber == 1e-7).unwrap();
+        assert!(light.recovered > 0, "low BER must leave recovery paths");
+    }
+
+    #[test]
+    fn format_changes_the_file_under_attack() {
+        let model = tiny_model();
+        let p8 = checkpoint_state_for(&model, ElemFormat::P8E1);
+        let fp8 = checkpoint_state_for(&model, ElemFormat::E4M3);
+        assert_ne!(p8.to_bytes(), fp8.to_bytes());
+        assert_eq!(p8.qparams[0].format, "Posit(8,1)");
+        assert_eq!(fp8.qparams[0].format, "E4M3");
+        // Both serialize/deserialize losslessly.
+        assert_eq!(TrainState::from_bytes(&p8.to_bytes()).unwrap(), p8);
+    }
+
+    #[test]
+    fn zero_ber_always_recovers_at_depth_zero() {
+        let model = tiny_model();
+        let cfg = CkptCampaignConfig {
+            seed: 1,
+            formats: vec![ElemFormat::P8E1],
+            bit_error_rates: vec![0.0],
+            trials: 2,
+            generations: 2,
+        };
+        let cells = run_ckpt_campaign(&cfg, &model);
+        let c = &cells[0];
+        assert_eq!(c.corrupted_files, 0);
+        assert_eq!(c.recovered, c.trials as u64);
+        assert_eq!(c.mean_fallback_depth, 0.0);
+    }
+}

@@ -8,9 +8,7 @@
 //! of an FP8 value, with wildly format-dependent consequences (that
 //! asymmetry is what the Table 9 campaign measures).
 
-use qt_posit::Posit;
 use qt_quant::ElemFormat;
-use qt_softfloat::{Bf16, E4M3, E5M2, E5M3};
 use qt_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,34 +46,22 @@ impl CodeFormat {
     }
 
     /// Round to the grid and return the stored code.
+    ///
+    /// Delegates to [`ElemFormat::encode_code`] — the same codec the
+    /// checkpoint `qparams` section uses, so corruption campaigns exercise
+    /// exactly the bits that reach persistent storage.
     pub fn encode(self, x: f32) -> u16 {
-        match self.format {
-            ElemFormat::Fp32 => unreachable!("Fp32 is not a storage format"),
-            ElemFormat::Bf16 => Bf16::from_f32(x).bits(),
-            ElemFormat::P8E0 => Posit::<8, 0>::from_f32(x).bits(),
-            ElemFormat::P8E1 => Posit::<8, 1>::from_f32(x).bits(),
-            ElemFormat::P8E2 => Posit::<8, 2>::from_f32(x).bits(),
-            ElemFormat::P16E1 => Posit::<16, 1>::from_f32(x).bits(),
-            ElemFormat::E4M3 => E4M3::from_f32(x).bits(),
-            ElemFormat::E5M2 => E5M2::from_f32(x).bits(),
-            ElemFormat::E5M3 => E5M3::from_f32(x).bits(),
-        }
+        self.format
+            .encode_code(x)
+            .expect("CodeFormat excludes Fp32")
     }
 
     /// Decode a stored code back to the value the datapath computes with.
     /// Exception codes decode to NaN (posit NaR, FP8 NaN) or ±∞ (E5M2).
     pub fn decode(self, code: u16) -> f32 {
-        match self.format {
-            ElemFormat::Fp32 => unreachable!("Fp32 is not a storage format"),
-            ElemFormat::Bf16 => Bf16::from_bits(code).to_f32(),
-            ElemFormat::P8E0 => Posit::<8, 0>::from_bits(code).to_f32(),
-            ElemFormat::P8E1 => Posit::<8, 1>::from_bits(code).to_f32(),
-            ElemFormat::P8E2 => Posit::<8, 2>::from_bits(code).to_f32(),
-            ElemFormat::P16E1 => Posit::<16, 1>::from_bits(code).to_f32(),
-            ElemFormat::E4M3 => E4M3::from_bits(code).to_f32(),
-            ElemFormat::E5M2 => E5M2::from_bits(code).to_f32(),
-            ElemFormat::E5M3 => E5M3::from_bits(code).to_f32(),
-        }
+        self.format
+            .decode_code(code)
+            .expect("CodeFormat excludes Fp32")
     }
 
     /// `true` when a decoded code is an exception value a cheap hardware
@@ -197,6 +183,40 @@ impl BitFlipInjector {
             }
         }
         report
+    }
+
+    /// Flip each bit of a raw byte buffer independently with probability
+    /// `rate`. Returns the number of bits flipped.
+    ///
+    /// This is the *storage-medium* corruption model for serialized
+    /// checkpoints: upsets land anywhere in the file — header, section
+    /// payloads, CRC trailers — and the loader's integrity checks, not an
+    /// exception decoder, are what must catch them.
+    pub fn corrupt_bytes(&mut self, bytes: &mut [u8], rate: f64) -> u64 {
+        let mut flipped = 0;
+        for byte in bytes.iter_mut() {
+            for b in 0..8 {
+                if self.rng.gen_bool(rate) {
+                    *byte ^= 1 << b;
+                    flipped += 1;
+                }
+            }
+        }
+        flipped
+    }
+
+    /// Flip exactly `n_flips` uniformly-chosen bits of a byte buffer
+    /// (with replacement, matching independent upsets). Returns the
+    /// number of draws actually applied (0 for an empty buffer).
+    pub fn corrupt_bytes_exact(&mut self, bytes: &mut [u8], n_flips: u64) -> u64 {
+        if bytes.is_empty() {
+            return 0;
+        }
+        for _ in 0..n_flips {
+            let pos = self.rng.gen_range(0..bytes.len() * 8);
+            bytes[pos / 8] ^= 1 << (pos % 8);
+        }
+        n_flips
     }
 
     /// Encode a tensor into `codec`'s storage codes, flip bits at `rate`,

@@ -5,10 +5,14 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod ckpt_campaign;
 pub mod inject;
 
 pub use campaign::{
     corrupt_model, corrupt_model_exact, run_campaign, weight_traffic_budget, CampaignCell,
     CampaignConfig,
+};
+pub use ckpt_campaign::{
+    checkpoint_state_for, run_ckpt_campaign, CkptCampaignCell, CkptCampaignConfig,
 };
 pub use inject::{BitFlipInjector, CodeFormat, InjectionReport};

@@ -14,6 +14,8 @@ pub enum TrainError {
         /// The (unscaled) loss of the last step.
         loss: f32,
     },
+    /// Saving or restoring a checkpoint failed.
+    Ckpt(qt_ckpt::CkptError),
 }
 
 impl fmt::Display for TrainError {
@@ -27,8 +29,15 @@ impl fmt::Display for TrainError {
                 "training diverged: {consecutive_skips} consecutive non-finite steps \
                  (last loss {loss}) and no snapshot to roll back to"
             ),
+            TrainError::Ckpt(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }
 
 impl std::error::Error for TrainError {}
+
+impl From<qt_ckpt::CkptError> for TrainError {
+    fn from(e: qt_ckpt::CkptError) -> Self {
+        TrainError::Ckpt(e)
+    }
+}

@@ -17,6 +17,6 @@ pub use eval::{
     evaluate_asr_wer, evaluate_classify, evaluate_lm_perplexity, evaluate_span_f1, greedy_decode,
 };
 pub use metrics::{accuracy, exact_match, span_f1, wer};
-pub use optim::{AdamW, Optimizer, Sgd};
+pub use optim::{AdamW, CheckpointOptimizer, Optimizer, Sgd};
 pub use scaler::{LossScaler, ScalerEvent};
 pub use trainer::Trainer;

@@ -29,6 +29,10 @@ pub enum ScalerEvent {
     },
 }
 
+/// Default bound on the retained event log (see
+/// [`LossScaler::with_event_capacity`]).
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
 /// Dynamic loss-scale state machine (the GradScaler recipe).
 #[derive(Debug, Clone)]
 pub struct LossScaler {
@@ -41,6 +45,8 @@ pub struct LossScaler {
     good_steps: usize,
     overflows: usize,
     events: Vec<ScalerEvent>,
+    event_capacity: usize,
+    events_dropped: u64,
 }
 
 impl LossScaler {
@@ -57,6 +63,8 @@ impl LossScaler {
             good_steps: 0,
             overflows: 0,
             events: Vec::new(),
+            event_capacity: DEFAULT_EVENT_CAPACITY,
+            events_dropped: 0,
         }
     }
 
@@ -71,6 +79,24 @@ impl LossScaler {
     /// Override the backoff factor applied on overflow (must be `< 1`).
     pub fn with_backoff(mut self, factor: f32) -> Self {
         self.backoff_factor = factor.clamp(f32::MIN_POSITIVE, 0.999_999);
+        self
+    }
+
+    /// Bound the retained event log to `capacity` entries (minimum 1).
+    ///
+    /// The log is a ring: when a new event would exceed the capacity the
+    /// oldest entry is dropped and counted in
+    /// [`LossScaler::events_dropped`]. An unconsumed log can otherwise
+    /// grow without bound over a long run — a scaler oscillating at its
+    /// backoff floor emits an event *every step*, and a run that never
+    /// attaches telemetry would leak them all.
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity.max(1);
+        let len = self.events.len();
+        if len > self.event_capacity {
+            self.events.drain(..len - self.event_capacity);
+            self.events_dropped += (len - self.event_capacity) as u64;
+        }
         self
     }
 
@@ -100,10 +126,24 @@ impl LossScaler {
         &self.events
     }
 
+    /// Events evicted from the bounded log before being consumed.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
     /// Drain the event log (telemetry consumers call this each step so
     /// every adjustment is reported exactly once).
     pub fn take_events(&mut self) -> Vec<ScalerEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    fn push_event(&mut self, ev: ScalerEvent) {
+        if self.events.len() >= self.event_capacity {
+            let excess = self.events.len() + 1 - self.event_capacity;
+            self.events.drain(..excess);
+            self.events_dropped += excess as u64;
+        }
+        self.events.push(ev);
     }
 
     /// Record a step whose gradients were finite. Grows the scale after
@@ -115,7 +155,7 @@ impl LossScaler {
             self.scale = (self.scale * self.growth_factor).min(self.max_scale);
             self.good_steps = 0;
             if self.scale != from {
-                self.events.push(ScalerEvent::Grow {
+                self.push_event(ScalerEvent::Grow {
                     from,
                     to: self.scale,
                 });
@@ -138,10 +178,49 @@ impl LossScaler {
         self.scale = (base * self.backoff_factor).clamp(self.min_scale, self.max_scale);
         self.good_steps = 0;
         self.overflows += 1;
-        self.events.push(ScalerEvent::Backoff {
+        self.push_event(ScalerEvent::Backoff {
             from,
             to: self.scale,
         });
+    }
+
+    /// Capture the full state machine for checkpointing, exact to the bit.
+    ///
+    /// Pending log entries are *not* part of the state: the `Trainer`
+    /// drains them into the trace at every step boundary, so at a
+    /// checkpoint the log is empty in the steady state — and the log never
+    /// influences the scale trajectory anyway.
+    pub fn to_ckpt(&self) -> qt_ckpt::ScalerState {
+        qt_ckpt::ScalerState {
+            scale_bits: self.scale.to_bits(),
+            growth_bits: self.growth_factor.to_bits(),
+            backoff_bits: self.backoff_factor.to_bits(),
+            growth_interval: self.growth_interval as u64,
+            min_bits: self.min_scale.to_bits(),
+            max_bits: self.max_scale.to_bits(),
+            good_steps: self.good_steps as u64,
+            overflows: self.overflows as u64,
+            event_capacity: self.event_capacity as u64,
+            events_dropped: self.events_dropped,
+        }
+    }
+
+    /// Rebuild a scaler from checkpointed state (inverse of
+    /// [`LossScaler::to_ckpt`]; the event log restarts empty).
+    pub fn from_ckpt(s: &qt_ckpt::ScalerState) -> Self {
+        Self {
+            scale: f32::from_bits(s.scale_bits),
+            growth_factor: f32::from_bits(s.growth_bits),
+            backoff_factor: f32::from_bits(s.backoff_bits),
+            growth_interval: s.growth_interval.max(1) as usize,
+            min_scale: f32::from_bits(s.min_bits),
+            max_scale: f32::from_bits(s.max_bits),
+            good_steps: s.good_steps as usize,
+            overflows: s.overflows as usize,
+            events: Vec::new(),
+            event_capacity: (s.event_capacity as usize).max(1),
+            events_dropped: s.events_dropped,
+        }
     }
 }
 
@@ -248,6 +327,49 @@ mod tests {
         s.on_clean_step();
         assert_eq!(s.scale(), 8.0);
         assert!(s.events().is_empty(), "no-op growth is not an event");
+    }
+
+    #[test]
+    fn event_log_is_a_bounded_ring() {
+        // Pinned at the min bound, every overflow emits a Backoff event;
+        // with capacity 4 only the newest 4 survive.
+        let mut s = LossScaler::new(2.0)
+            .with_bounds(2.0, 4.0)
+            .with_event_capacity(4);
+        for _ in 0..10 {
+            s.on_overflow();
+        }
+        assert_eq!(s.events().len(), 4);
+        assert_eq!(s.events_dropped(), 6);
+        assert_eq!(s.overflows(), 10, "the counter is not capped, only the log");
+        // Draining resets the log but not the dropped count.
+        assert_eq!(s.take_events().len(), 4);
+        assert_eq!(s.events_dropped(), 6);
+    }
+
+    #[test]
+    fn ckpt_roundtrip_restores_exact_state_machine() {
+        let mut s = LossScaler::new(4096.0)
+            .with_growth(2.0, 3)
+            .with_backoff(0.5)
+            .with_bounds(1.0, 65536.0)
+            .with_event_capacity(8);
+        s.on_clean_step();
+        s.on_overflow();
+        s.on_clean_step();
+        let mut r = LossScaler::from_ckpt(&s.to_ckpt());
+        assert_eq!(r.scale().to_bits(), s.scale().to_bits());
+        assert_eq!(r.overflows(), s.overflows());
+        assert!(r.events().is_empty(), "the log itself is not state");
+        // The state machines continue identically from here.
+        for _ in 0..5 {
+            s.on_clean_step();
+            r.on_clean_step();
+            assert_eq!(r.scale().to_bits(), s.scale().to_bits());
+        }
+        s.on_overflow();
+        r.on_overflow();
+        assert_eq!(r.scale().to_bits(), s.scale().to_bits());
     }
 
     #[test]

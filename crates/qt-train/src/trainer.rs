@@ -1,13 +1,16 @@
 //! The quantization-aware training loop.
 
 use crate::error::TrainError;
-use crate::optim::{clip_global_norm, Optimizer};
+use crate::optim::{clip_global_norm, CheckpointOptimizer, Optimizer};
 use crate::scaler::LossScaler;
 use qt_autograd::{Tape, Var};
-use qt_quant::ScalingMode;
+use qt_ckpt::{
+    AmaxState, CheckpointStore, CkptError, Counters, QuantBlob, RestoreInfo, SaveInfo,
+    SnapshotState, TensorBlob, TrainState,
+};
+use qt_quant::{AmaxTracker, ElemFormat, ScalingMode};
 use qt_tensor::Tensor;
 use qt_transformer::{Model, ParamStore, QuantCtx, TokenBatch, TrainMode};
-use qt_quant::AmaxTracker;
 use std::collections::BTreeMap;
 
 /// Consecutive skipped steps after which a checked step reports
@@ -20,6 +23,15 @@ struct Snapshot<O> {
     opt: O,
     tracker: AmaxTracker,
     steps: usize,
+}
+
+/// Durable-checkpoint wiring attached to a [`Trainer`] (see
+/// [`Trainer::with_checkpointing`]).
+struct CkptCfg {
+    store: CheckpointStore,
+    every: usize,
+    data_seed: u64,
+    meta: Vec<(String, String)>,
 }
 
 /// Drives quantized fine-tuning of a [`Model`].
@@ -59,9 +71,10 @@ pub struct Trainer<O: Optimizer> {
     snapshot: Option<Snapshot<O>>,
     consecutive_skips: usize,
     rollbacks: usize,
+    ckpt: Option<CkptCfg>,
 }
 
-impl<O: Optimizer + Clone> Trainer<O> {
+impl<O: Optimizer + Clone + CheckpointOptimizer> Trainer<O> {
     /// Create a trainer.
     pub fn new(model: Model, qctx: QuantCtx, mode: TrainMode, opt: O) -> Self {
         Self {
@@ -78,6 +91,7 @@ impl<O: Optimizer + Clone> Trainer<O> {
             snapshot: None,
             consecutive_skips: 0,
             rollbacks: 0,
+            ckpt: None,
         }
     }
 
@@ -96,9 +110,45 @@ impl<O: Optimizer + Clone> Trainer<O> {
         self
     }
 
+    /// Persist the full training state to `store` every `every` global
+    /// steps (applied + skipped). `data_seed` is recorded in each
+    /// checkpoint so a resumed run can regenerate the identical data
+    /// order and skip the batches already consumed
+    /// ([`Trainer::global_step`] of them).
+    pub fn with_checkpointing(mut self, store: CheckpointStore, every: usize, data_seed: u64) -> Self {
+        self.ckpt = Some(CkptCfg {
+            store,
+            every: every.max(1),
+            data_seed,
+            meta: Vec::new(),
+        });
+        self
+    }
+
+    /// Annotate every subsequent checkpoint with `(key, value)` pairs
+    /// (run name, scheme, task — anything useful at inspection time).
+    /// No-op unless [`Trainer::with_checkpointing`] was called first.
+    pub fn with_checkpoint_meta(mut self, meta: Vec<(String, String)>) -> Self {
+        if let Some(cfg) = &mut self.ckpt {
+            cfg.meta = meta;
+        }
+        self
+    }
+
+    /// The attached checkpoint store, if checkpointing is configured.
+    pub fn checkpoint_store(&self) -> Option<&CheckpointStore> {
+        self.ckpt.as_ref().map(|c| &c.store)
+    }
+
     /// Number of optimizer steps applied.
     pub fn steps(&self) -> usize {
         self.steps
+    }
+
+    /// Global step count: applied + skipped — equal to the number of
+    /// batches the data iterator has consumed.
+    pub fn global_step(&self) -> usize {
+        self.steps + self.skipped
     }
 
     /// Number of steps skipped for non-finite gradients.
@@ -255,6 +305,7 @@ impl<O: Optimizer + Clone> Trainer<O> {
         if !finite || !loss_value.is_finite() {
             self.on_skipped_step();
             self.emit_step_telemetry(loss_value, false);
+            self.maybe_checkpoint_and_crash();
             self.qctx.span_end(step_span);
             return loss_value;
         }
@@ -278,8 +329,218 @@ impl<O: Optimizer + Clone> Trainer<O> {
             }
         }
         self.emit_step_telemetry(loss_value, true);
+        self.maybe_checkpoint_and_crash();
         self.qctx.span_end(step_span);
         loss_value
+    }
+
+    /// Auto-checkpoint on the configured cadence, then honor the
+    /// `QT_CRASH_AT_STEP` kill hook (used by the crash-recovery CI job).
+    /// Both count *global* steps so skipped steps keep the data iterator
+    /// and the checkpoint cadence aligned.
+    fn maybe_checkpoint_and_crash(&mut self) {
+        let Some(cfg) = &self.ckpt else {
+            return;
+        };
+        let step = self.global_step();
+        if step > 0 && step.is_multiple_of(cfg.every) {
+            if let Err(e) = self.save_checkpoint() {
+                // A failed periodic save must not kill the training run;
+                // it is surfaced on the trace and stderr instead.
+                eprintln!("warning: periodic checkpoint failed: {e}");
+                if let Some(t) = self.qctx.trace() {
+                    t.borrow_mut()
+                        .metrics_mut()
+                        .counter_add("ckpt.save_failed", &[], 1);
+                }
+            }
+        }
+        // The crash hook only fires on checkpoint-enabled runs, so
+        // pretraining phases sharing the process are unaffected.
+        if let Ok(v) = std::env::var("QT_CRASH_AT_STEP") {
+            if v.parse::<usize>() == Ok(step) {
+                eprintln!("QT_CRASH_AT_STEP: simulating crash at global step {step}");
+                std::process::exit(42);
+            }
+        }
+    }
+
+    /// Capture the complete training state: exact `f32` bit patterns of
+    /// every parameter (plus a compact 8-bit codes+scales export when the
+    /// scheme stores sub-32-bit weights), optimizer moments, scaler and
+    /// amax state, counters, and the in-memory rollback snapshot.
+    pub fn capture_state(&self) -> TrainState {
+        let opt = self.opt.export_state();
+        let mut meta = vec![("optimizer".to_string(), opt.kind.clone())];
+        if let Some(cfg) = &self.ckpt {
+            meta.extend(cfg.meta.iter().cloned());
+        }
+        let tracker = self.qctx.tracker().borrow().clone();
+        TrainState {
+            meta,
+            counters: Counters {
+                steps: self.steps as u64,
+                skipped: self.skipped as u64,
+                consecutive_skips: self.consecutive_skips as u64,
+                rollbacks: self.rollbacks as u64,
+                data_seed: self.ckpt.as_ref().map_or(0, |c| c.data_seed),
+            },
+            params: params_to_blobs(&self.model.params),
+            qparams: qparams_for(&self.model.params, self.qctx.scheme().fwd),
+            opt,
+            scaler: self.scaler.as_ref().map(LossScaler::to_ckpt),
+            amax: AmaxState {
+                history_len: tracker.history_len() as u64,
+                entries: tracker.export_history(),
+            },
+            snapshot: self.snapshot.as_ref().map(|s| SnapshotState {
+                params: params_to_blobs(&s.params),
+                opt: s.opt.export_state(),
+                amax: AmaxState {
+                    history_len: s.tracker.history_len() as u64,
+                    entries: s.tracker.export_history(),
+                },
+                steps: s.steps as u64,
+            }),
+        }
+    }
+
+    /// Persist the current state as a new generation in the attached
+    /// store, emitting `ckpt.save` on the trace.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Ckpt`] when no store is attached or the write fails.
+    pub fn save_checkpoint(&self) -> Result<SaveInfo, TrainError> {
+        let Some(cfg) = &self.ckpt else {
+            return Err(CkptError::Malformed(
+                "checkpointing not configured (call with_checkpointing)".into(),
+            )
+            .into());
+        };
+        let state = self.capture_state();
+        let info = cfg.store.save(&state)?;
+        if let Some(t) = self.qctx.trace() {
+            let mut t = t.borrow_mut();
+            t.instant(
+                "ckpt.save",
+                "ckpt",
+                vec![
+                    ("generation".to_string(), info.generation as f64),
+                    ("bytes".to_string(), info.bytes as f64),
+                    ("global_step".to_string(), self.global_step() as f64),
+                ],
+            );
+            t.metrics_mut().counter_add("ckpt.saves", &[], 1);
+        }
+        Ok(info)
+    }
+
+    /// Overwrite the trainer's state from a validated checkpoint. The
+    /// trainer must have been constructed with the same model
+    /// architecture and optimizer type the checkpoint was captured from.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Ckpt`] when the checkpoint's parameter set or the
+    /// optimizer kind does not match this trainer.
+    pub fn restore_state(&mut self, state: &TrainState) -> Result<(), TrainError> {
+        restore_params(&mut self.model.params, &state.params)?;
+        self.opt = O::import_state(&state.opt)?;
+        self.steps = state.counters.steps as usize;
+        self.skipped = state.counters.skipped as usize;
+        self.consecutive_skips = state.counters.consecutive_skips as usize;
+        self.rollbacks = state.counters.rollbacks as usize;
+        self.scaler = state.scaler.as_ref().map(LossScaler::from_ckpt);
+        *self.qctx.tracker().borrow_mut() = AmaxTracker::import_history(
+            state.amax.history_len as usize,
+            state.amax.entries.iter().cloned(),
+        );
+        self.snapshot = match &state.snapshot {
+            None => None,
+            Some(snap) => {
+                let mut params = ParamStore::new();
+                for b in &snap.params {
+                    params.insert(b.name.clone(), Tensor::from_vec(b.to_f32(), &b.shape_usize()));
+                }
+                Some(Snapshot {
+                    params,
+                    opt: O::import_state(&snap.opt)?,
+                    tracker: AmaxTracker::import_history(
+                        snap.amax.history_len as usize,
+                        snap.amax.entries.iter().cloned(),
+                    ),
+                    steps: snap.steps as usize,
+                })
+            }
+        };
+        Ok(())
+    }
+
+    /// Resume from the newest intact generation in `store`, falling back
+    /// through corrupted generations. Emits `ckpt.restore`,
+    /// `ckpt.corrupt_detected` and `ckpt.fallback_depth` on the trace.
+    ///
+    /// Returns `Ok(None)` when the store holds no checkpoints at all
+    /// (a fresh run). When checkpoints exist but *every* generation is
+    /// corrupt, this is an error — silently restarting from scratch would
+    /// discard the fact that durable state existed.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Ckpt`] on total corruption or a state mismatch.
+    pub fn resume_from(&mut self, store: &CheckpointStore) -> Result<Option<RestoreInfo>, TrainError> {
+        match store.load_latest() {
+            Ok((state, info)) => {
+                if let Some(t) = self.qctx.trace() {
+                    let mut t = t.borrow_mut();
+                    for (generation, _) in &info.rejected {
+                        t.instant(
+                            "ckpt.corrupt_detected",
+                            "ckpt",
+                            vec![("generation".to_string(), *generation as f64)],
+                        );
+                        t.metrics_mut().counter_add("ckpt.corrupt_detected", &[], 1);
+                    }
+                }
+                self.restore_state(&state)?;
+                if let Some(t) = self.qctx.trace() {
+                    let mut t = t.borrow_mut();
+                    t.instant(
+                        "ckpt.restore",
+                        "ckpt",
+                        vec![
+                            ("generation".to_string(), info.generation as f64),
+                            ("fallback_depth".to_string(), info.fallback_depth as f64),
+                            ("global_step".to_string(), state.global_step() as f64),
+                        ],
+                    );
+                    t.metrics_mut()
+                        .gauge_set("ckpt.fallback_depth", &[], info.fallback_depth as f64);
+                }
+                Ok(Some(info))
+            }
+            Err(CkptError::NoCheckpoint) if store.generations().is_empty() => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// [`Trainer::resume_from`] on the store attached via
+    /// [`Trainer::with_checkpointing`].
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Ckpt`] when no store is attached, on total
+    /// corruption, or on a state mismatch.
+    pub fn resume_latest(&mut self) -> Result<Option<RestoreInfo>, TrainError> {
+        let Some(cfg) = &self.ckpt else {
+            return Err(CkptError::Malformed(
+                "checkpointing not configured (call with_checkpointing)".into(),
+            )
+            .into());
+        };
+        let store = cfg.store.clone();
+        self.resume_from(&store)
     }
 
     /// Per-step metrics and scaler transitions, onto the session attached
@@ -361,6 +622,76 @@ impl<O: Optimizer + Clone> Trainer<O> {
             }
         }
     }
+}
+
+/// Exact capture of every parameter, in `ParamStore`'s sorted order.
+fn params_to_blobs(params: &ParamStore) -> Vec<TensorBlob> {
+    params
+        .iter()
+        .map(|(name, t)| TensorBlob::from_f32(name, t.shape(), t.data()))
+        .collect()
+}
+
+/// The deployable export: stored codes + per-tensor power-of-two scale in
+/// the scheme's forward (storage) format. Empty for `Fp32` schemes, where
+/// the `params` section already *is* the storage representation.
+fn qparams_for(params: &ParamStore, fmt: ElemFormat) -> Vec<QuantBlob> {
+    if fmt == ElemFormat::Fp32 {
+        return Vec::new();
+    }
+    params
+        .iter()
+        .map(|(name, t)| {
+            let scale = AmaxTracker::scale_from_amax(t.amax(), fmt);
+            let codes = t
+                .data()
+                .iter()
+                .map(|&x| fmt.encode_code(x * scale).expect("fmt is not Fp32"))
+                .collect();
+            QuantBlob {
+                name: name.to_string(),
+                shape: t.shape().iter().map(|&d| d as u32).collect(),
+                format: fmt.name().to_string(),
+                scale_bits: scale.to_bits(),
+                codes,
+            }
+        })
+        .collect()
+}
+
+/// Overwrite `dst` from checkpointed blobs, refusing any mismatch in the
+/// parameter set or shapes — a checkpoint from a different architecture
+/// must never be partially applied.
+fn restore_params(dst: &mut ParamStore, blobs: &[TensorBlob]) -> Result<(), CkptError> {
+    let names = dst.names();
+    if blobs.len() != names.len() {
+        return Err(CkptError::Malformed(format!(
+            "checkpoint has {} parameters, model has {}",
+            blobs.len(),
+            names.len()
+        )));
+    }
+    for b in blobs {
+        if !dst.contains(&b.name) {
+            return Err(CkptError::Malformed(format!(
+                "checkpoint parameter {:?} not in model",
+                b.name
+            )));
+        }
+        let expect = dst.get(&b.name).shape().to_vec();
+        if b.shape_usize() != expect {
+            return Err(CkptError::Malformed(format!(
+                "checkpoint parameter {:?} has shape {:?}, model expects {:?}",
+                b.name,
+                b.shape_usize(),
+                expect
+            )));
+        }
+    }
+    for b in blobs {
+        dst.insert(b.name.clone(), Tensor::from_vec(b.to_f32(), &b.shape_usize()));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -543,6 +874,7 @@ mod tests {
                     saw_diverged = true;
                     break;
                 }
+                Err(other) => panic!("unexpected error: {other}"),
             }
         }
         assert!(saw_diverged, "divergence must be reported");
@@ -600,6 +932,70 @@ mod tests {
         assert_eq!(steps, 6);
         assert_eq!(sess.open_spans(), 0);
         assert!(sess.records().iter().any(|r| r.name == "train.skip"));
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_bitwise_identically() {
+        use qt_ckpt::CheckpointStore;
+
+        let dir = std::env::temp_dir().join(format!(
+            "qt-train-ckpt-resume-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir);
+        let data_seed = 11u64;
+        let total_steps = 8;
+
+        // Reference: 8 uninterrupted steps under a quantized scheme.
+        let (mut reference, task) = tiny_classify_trainer(QuantScheme::posit8());
+        let data = task.dataset(64, data_seed);
+        let chunks: Vec<_> = data.chunks(16).collect();
+        let mut ref_losses = Vec::new();
+        for chunk in chunks.iter().cycle().take(total_steps) {
+            let (batch, labels) = task.batch(chunk);
+            ref_losses.push(reference.step_classify(&batch, &labels));
+        }
+
+        // Interrupted run: checkpoint every 2 steps, "crash" after step 5.
+        let (tr_a, _) = tiny_classify_trainer(QuantScheme::posit8());
+        let mut tr_a = tr_a.with_checkpointing(store.clone(), 2, data_seed);
+        for chunk in chunks.iter().cycle().take(5) {
+            let (batch, labels) = task.batch(chunk);
+            tr_a.step_classify(&batch, &labels);
+        }
+        drop(tr_a); // steps 1–5 ran; generations exist for steps 2 and 4
+
+        // Fresh process stand-in: new trainer, resume, replay the tail.
+        let (tr_b, _) = tiny_classify_trainer(QuantScheme::posit8());
+        let mut tr_b = tr_b.with_checkpointing(store, 2, data_seed);
+        let info = tr_b.resume_latest().unwrap().expect("checkpoints exist");
+        assert_eq!(info.fallback_depth, 0);
+        let resumed_at = tr_b.global_step();
+        assert_eq!(resumed_at, 4, "newest generation is the step-4 save");
+        let mut resumed_losses = Vec::new();
+        for chunk in chunks.iter().cycle().skip(resumed_at).take(total_steps - resumed_at) {
+            let (batch, labels) = task.batch(chunk);
+            resumed_losses.push(tr_b.step_classify(&batch, &labels));
+        }
+
+        // The resumed trajectory is bitwise-identical to the reference:
+        // same losses, same final parameters, bit for bit.
+        for (i, (r, c)) in ref_losses[resumed_at..].iter().zip(&resumed_losses).enumerate() {
+            assert_eq!(r.to_bits(), c.to_bits(), "loss diverged at tail step {i}");
+        }
+        for name in reference.model.params.names() {
+            let a = reference.model.params.get(&name);
+            let b = tr_b.model.params.get(&name);
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "param {name} diverged");
+            }
+        }
+        // The quantized export rides along for non-FP32 schemes.
+        let state = tr_b.capture_state();
+        assert!(!state.qparams.is_empty());
+        assert_eq!(state.qparams[0].format, "Posit(8,1)");
+        let _ = std::fs::remove_dir_all(tr_b.checkpoint_store().unwrap().dir());
     }
 
     #[test]
