@@ -112,6 +112,108 @@ impl fmt::Display for TensorHealth {
     }
 }
 
+/// Sliding window over the last N per-request [`TensorHealth`] outcomes.
+///
+/// A single unhealthy forward pass says little — one NaN can be a stray
+/// upset — but *rates* over a recent window are what a serving runtime's
+/// circuit breaker needs: "did the non-finite rate of the posit8 path
+/// exceed threshold over the last 32 requests?". The window is a fixed-
+/// capacity ring; pushing the N+1-th outcome evicts the oldest, and the
+/// aggregate counters always describe exactly the retained entries.
+#[derive(Debug, Clone)]
+pub struct HealthWindow {
+    cap: usize,
+    entries: std::collections::VecDeque<TensorHealth>,
+    /// Retained entries with any non-finite traffic (in or out).
+    unhealthy: usize,
+}
+
+impl HealthWindow {
+    /// Window retaining the most recent `cap` outcomes (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            cap,
+            entries: std::collections::VecDeque::with_capacity(cap),
+            unhealthy: 0,
+        }
+    }
+
+    /// `true` when `h` carries non-finite traffic — the outcome class the
+    /// breaker counts against the 8-bit path.
+    pub fn is_unhealthy(h: &TensorHealth) -> bool {
+        h.nonfinite_in > 0 || h.nonfinite_out > 0
+    }
+
+    /// Record one request's aggregate health, evicting the oldest entry
+    /// when full. Returns whether this outcome counted as unhealthy.
+    pub fn push(&mut self, h: TensorHealth) -> bool {
+        if self.entries.len() == self.cap {
+            if let Some(old) = self.entries.pop_front() {
+                if Self::is_unhealthy(&old) {
+                    self.unhealthy -= 1;
+                }
+            }
+        }
+        let bad = Self::is_unhealthy(&h);
+        if bad {
+            self.unhealthy += 1;
+        }
+        self.entries.push_back(h);
+        bad
+    }
+
+    /// Outcomes currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no outcome has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// `true` once the window holds `capacity` outcomes.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.cap
+    }
+
+    /// Retained outcomes with non-finite traffic.
+    pub fn unhealthy_count(&self) -> usize {
+        self.unhealthy
+    }
+
+    /// Fraction of retained outcomes that were unhealthy (0 when empty).
+    pub fn unhealthy_rate(&self) -> f64 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            self.unhealthy as f64 / self.entries.len() as f64
+        }
+    }
+
+    /// Element-level counters folded over the retained outcomes.
+    pub fn total(&self) -> TensorHealth {
+        let mut t = TensorHealth::default();
+        for h in &self.entries {
+            t.merge(h);
+        }
+        t
+    }
+
+    /// Drop every retained outcome (e.g. when a breaker closes again, so
+    /// stale fault history cannot re-trip it).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.unhealthy = 0;
+    }
+}
+
 /// Error from a guarded quantization path.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QuantError {
@@ -167,6 +269,49 @@ mod tests {
         assert_eq!(h.underflow_rate(), 0.0);
         assert_eq!(h.nonfinite_rate(), 0.0);
         assert!(h.is_clean());
+    }
+
+    #[test]
+    fn health_window_evicts_and_tracks_rates() {
+        let clean = TensorHealth {
+            elements: 10,
+            ..TensorHealth::default()
+        };
+        let bad = TensorHealth {
+            elements: 10,
+            nonfinite_out: 2,
+            ..TensorHealth::default()
+        };
+        let mut w = HealthWindow::new(3);
+        assert!(w.is_empty());
+        assert_eq!(w.unhealthy_rate(), 0.0);
+        assert!(!w.push(clean));
+        assert!(w.push(bad));
+        assert!(w.push(bad));
+        assert!(w.is_full());
+        assert_eq!(w.unhealthy_count(), 2);
+        assert!((w.unhealthy_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(w.total().elements, 30);
+        // Eviction drops the oldest (clean) entry: rate goes to 1.
+        w.push(bad);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.unhealthy_count(), 3);
+        assert_eq!(w.unhealthy_rate(), 1.0);
+        // Evicting an unhealthy entry decrements the count.
+        w.push(clean);
+        assert_eq!(w.unhealthy_count(), 2);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.unhealthy_count(), 0);
+    }
+
+    #[test]
+    fn health_window_capacity_floor_is_one() {
+        let mut w = HealthWindow::new(0);
+        assert_eq!(w.capacity(), 1);
+        w.push(TensorHealth::default());
+        w.push(TensorHealth::default());
+        assert_eq!(w.len(), 1);
     }
 
     #[test]

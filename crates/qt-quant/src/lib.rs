@@ -32,7 +32,7 @@ mod scheme;
 
 pub use format::ElemFormat;
 pub use fusion::{FusionLevel, OpClass, OpSet};
-pub use guard::{NonFinitePolicy, QuantError, TensorHealth};
+pub use guard::{HealthWindow, NonFinitePolicy, QuantError, TensorHealth};
 pub use qt_posit::UnderflowPolicy;
 pub use quantizer::FakeQuant;
 pub use scaling::{AmaxTracker, ScalingMode};

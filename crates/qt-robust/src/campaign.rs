@@ -80,7 +80,7 @@ impl CampaignCell {
 /// Derive a per-cell seed from the campaign seed and the cell's sweep
 /// coordinates (SplitMix64-style mixing), so cells are independent and
 /// sweep order is irrelevant.
-pub(crate) fn cell_seed(master: u64, fmt_idx: usize, rate_idx: usize, trial: usize) -> u64 {
+pub fn cell_seed(master: u64, fmt_idx: usize, rate_idx: usize, trial: usize) -> u64 {
     let mut z = master
         .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul((fmt_idx as u64).wrapping_add(1)))
         .wrapping_add(0xBF58476D1CE4E5B9u64.wrapping_mul((rate_idx as u64).wrapping_add(1)))
@@ -88,6 +88,68 @@ pub(crate) fn cell_seed(master: u64, fmt_idx: usize, rate_idx: usize, trial: usi
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)
+}
+
+/// Shared sweep scaffolding for fault campaigns.
+///
+/// Every campaign in this crate walks the same grid — (format index ×
+/// stress-level index) cells, `trials` independent trials per cell — and
+/// owes the same two determinism guarantees: identical tables run-to-run,
+/// and independence from sweep order. Both come from one discipline:
+/// every trial's randomness is a fresh [`BitFlipInjector`] seeded from
+/// [`cell_seed`] of the trial's grid coordinates, never from a shared
+/// stream. The harness owns that discipline so the campaigns (and any
+/// future sweep) cannot drift apart on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Harness {
+    seed: u64,
+    trials: usize,
+}
+
+impl Harness {
+    /// Harness over `trials` independent trials per cell (minimum 1),
+    /// all derived from `seed`.
+    pub fn new(seed: u64, trials: usize) -> Self {
+        Self {
+            seed,
+            trials: trials.max(1),
+        }
+    }
+
+    /// Trials run per cell.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// The seed a given trial's injector is built from — exposed for
+    /// consumers (e.g. a serving fault source) that derive their own
+    /// randomness but must stay on the same independence discipline.
+    pub fn trial_seed(&self, fmt_idx: usize, level_idx: usize, trial: usize) -> u64 {
+        cell_seed(self.seed, fmt_idx, level_idx, trial)
+    }
+
+    /// Injector for the baseline (zero-fault) evaluation of a format.
+    /// Uses a reserved level coordinate so it can never collide with a
+    /// real cell's stream.
+    pub fn baseline_injector(&self, fmt_idx: usize) -> BitFlipInjector {
+        BitFlipInjector::new(cell_seed(self.seed, fmt_idx, usize::MAX, 0))
+    }
+
+    /// Run every trial of cell (`fmt_idx`, `level_idx`), handing each one
+    /// its own freshly-seeded injector, and collect the results.
+    pub fn run_cell<T>(
+        &self,
+        fmt_idx: usize,
+        level_idx: usize,
+        mut trial: impl FnMut(usize, &mut BitFlipInjector) -> T,
+    ) -> Vec<T> {
+        (0..self.trials)
+            .map(|t| {
+                let mut inj = BitFlipInjector::new(cell_seed(self.seed, fmt_idx, level_idx, t));
+                trial(t, &mut inj)
+            })
+            .collect()
+    }
 }
 
 /// Corrupt every parameter tensor of a model through `codec`'s stored
@@ -158,6 +220,7 @@ pub fn run_campaign(
     model: &Model,
     eval: impl Fn(&Model, ElemFormat) -> f64,
 ) -> Vec<CampaignCell> {
+    let harness = Harness::new(cfg.seed, cfg.trials);
     let mut cells = Vec::new();
     for (fi, &format) in cfg.formats.iter().enumerate() {
         let codec = match CodeFormat::new(format) {
@@ -165,24 +228,21 @@ pub fn run_campaign(
             None => continue,
         };
         // Baseline: weights rounded onto the storage grid, zero faults.
-        let mut clean_inj = BitFlipInjector::new(cell_seed(cfg.seed, fi, usize::MAX, 0));
-        let (clean, _) = corrupt_model(model, codec, 0.0, &mut clean_inj);
+        let (clean, _) = corrupt_model(model, codec, 0.0, &mut harness.baseline_injector(fi));
         let baseline = eval(&clean, format);
         for (ri, &rate) in cfg.flip_rates.iter().enumerate() {
             let mut report = InjectionReport::default();
-            let mut sum = 0.0;
-            for trial in 0..cfg.trials.max(1) {
-                let mut inj = BitFlipInjector::new(cell_seed(cfg.seed, fi, ri, trial));
-                let (corrupted, r) = corrupt_model(model, codec, rate, &mut inj);
+            let scores = harness.run_cell(fi, ri, |_, inj| {
+                let (corrupted, r) = corrupt_model(model, codec, rate, inj);
                 report.merge(&r);
-                sum += eval(&corrupted, format);
-            }
+                eval(&corrupted, format)
+            });
             cells.push(CampaignCell {
                 format,
                 rate,
-                trials: cfg.trials.max(1),
+                trials: harness.trials(),
                 baseline,
-                corrupted: sum / cfg.trials.max(1) as f64,
+                corrupted: scores.iter().sum::<f64>() / harness.trials() as f64,
                 report,
             });
         }

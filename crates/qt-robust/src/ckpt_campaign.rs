@@ -11,8 +11,7 @@
 //! the campaign verifies that claim empirically across formats × BERs,
 //! and measures the fallback depth needed to find an intact generation.
 
-use crate::campaign::cell_seed;
-use crate::inject::BitFlipInjector;
+use crate::campaign::Harness;
 use qt_ckpt::{AmaxState, Counters, OptState, QuantBlob, TensorBlob, TrainState};
 use qt_quant::{AmaxTracker, ElemFormat};
 use qt_transformer::Model;
@@ -152,9 +151,9 @@ pub fn checkpoint_state_for(model: &Model, fmt: ElemFormat) -> TrainState {
 ///
 /// Deterministic: identical `cfg` and model produce an identical table.
 pub fn run_ckpt_campaign(cfg: &CkptCampaignConfig, model: &Model) -> Vec<CkptCampaignCell> {
+    let harness = Harness::new(cfg.seed, cfg.trials);
     let mut cells = Vec::new();
     let generations = cfg.generations.max(1);
-    let trials = cfg.trials.max(1);
     for (fi, &format) in cfg.formats.iter().enumerate() {
         let state = checkpoint_state_for(model, format);
         let baseline = state.to_bytes();
@@ -163,7 +162,7 @@ pub fn run_ckpt_campaign(cfg: &CkptCampaignConfig, model: &Model) -> Vec<CkptCam
             let mut cell = CkptCampaignCell {
                 format,
                 ber,
-                trials,
+                trials: harness.trials(),
                 bytes: baseline.len() as u64,
                 corrupted_files: 0,
                 detected: 0,
@@ -172,8 +171,7 @@ pub fn run_ckpt_campaign(cfg: &CkptCampaignConfig, model: &Model) -> Vec<CkptCam
                 mean_fallback_depth: 0.0,
             };
             let mut depth_sum = 0u64;
-            for trial in 0..trials {
-                let mut inj = BitFlipInjector::new(cell_seed(cfg.seed, fi, ri, trial));
+            harness.run_cell(fi, ri, |_, inj| {
                 // Newest → oldest walk over independently corrupted
                 // generation files, exactly like CheckpointStore::load_latest.
                 let mut fallback_depth = None;
@@ -204,7 +202,7 @@ pub fn run_ckpt_campaign(cfg: &CkptCampaignConfig, model: &Model) -> Vec<CkptCam
                     cell.recovered += 1;
                     depth_sum += d;
                 }
-            }
+            });
             // 0.0 (not NaN) when nothing recovered: keeps cells
             // PartialEq-comparable and the JSON schema finite.
             cell.mean_fallback_depth = if cell.recovered > 0 {

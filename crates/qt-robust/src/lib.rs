@@ -7,12 +7,14 @@
 pub mod campaign;
 pub mod ckpt_campaign;
 pub mod inject;
+pub mod runtime;
 
 pub use campaign::{
-    corrupt_model, corrupt_model_exact, run_campaign, weight_traffic_budget, CampaignCell,
-    CampaignConfig,
+    cell_seed, corrupt_model, corrupt_model_exact, run_campaign, weight_traffic_budget,
+    CampaignCell, CampaignConfig, Harness,
 };
 pub use ckpt_campaign::{
     checkpoint_state_for, run_ckpt_campaign, CkptCampaignCell, CkptCampaignConfig,
 };
 pub use inject::{BitFlipInjector, CodeFormat, InjectionReport};
+pub use runtime::{BerFaultSource, BurstFaultSource, FaultSource, NoFaults};

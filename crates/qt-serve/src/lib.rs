@@ -1,0 +1,50 @@
+//! qt-serve: resilient inference serving for quantized edge models.
+//!
+//! Serving an 8-bit model on edge hardware means serving it through an
+//! environment that sheds load, misses deadlines, and flips bits. This
+//! crate is the runtime that makes those failures *governed* instead of
+//! emergent:
+//!
+//! - **Admission control** — a bounded queue ([`BoundedQueue`]) that
+//!   says [`Rejected::QueueFull`] out loud instead of queueing without
+//!   bound ([`queue`]).
+//! - **Deadlines** — per-request budgets enforced *between transformer
+//!   blocks* with a cooperative cancel token, so a doomed request stops
+//!   mid-model and a cancelled pass never yields a partial result
+//!   ([`engine`]).
+//! - **Retries** — flagged (non-finite-health) attempts re-read the
+//!   weights under seeded decorrelated-jitter backoff ([`retry`]).
+//! - **Graceful degradation** — a circuit breaker over a sliding window
+//!   of [`qt_quant::TensorHealth`] outcomes trips the quantized path to
+//!   a BF16 reference path on pristine weights, then probes its way back
+//!   ([`breaker`]).
+//! - **Observability** — `serve.*` spans, instants, and metrics through
+//!   qt-trace; crash-safe health snapshots through qt-ckpt ([`snapshot`]).
+//!
+//! Two drivers share the one engine code path: [`sim::run_sim`], a
+//! single-threaded discrete-event simulation on a virtual clock whose
+//! reports replay bit-exactly (and identically at any `QT_THREADS`), and
+//! [`Server`], the same machinery on real OS threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod config;
+pub mod engine;
+pub mod queue;
+pub mod request;
+pub mod retry;
+pub mod server;
+pub mod sim;
+pub mod snapshot;
+
+pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker, Route, Transition};
+pub use config::ServeConfig;
+pub use engine::{Attempt, Engine, ProcessOutcome};
+pub use queue::{BoundedQueue, Rejected};
+pub use request::{OutcomeKind, Request, Response};
+pub use retry::{Backoff, RetryPolicy};
+pub use server::{Server, ServerStats};
+pub use sim::{run_sim, LoadSpec, ServeReport};
+pub use snapshot::{HealthSnapshot, SNAPSHOT_SCHEMA};

@@ -1,0 +1,121 @@
+//! Requests, responses, and the four-way outcome accounting.
+//!
+//! Every request admitted to the runtime ends in exactly one of four
+//! outcomes, and the runtime's first invariant is that the four counters
+//! reconcile to the offered load — a request can be shed, miss its
+//! deadline, or be served (on the 8-bit primary path or the degraded
+//! reference path), but it can never vanish. "Served" additionally means
+//! the response was *clean*: a forward pass whose quantization health
+//! carried non-finite traffic is flagged and retried or degraded, never
+//! returned as a result.
+
+/// One inference request: a token sequence with an arrival time and an
+/// absolute deadline on the runtime's virtual clock (microseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-assigned id; also the root of every per-request random
+    /// stream (faults, retry jitter), so replays are exact.
+    pub id: u64,
+    /// Token ids of a single sequence.
+    pub tokens: Vec<usize>,
+    /// Arrival time on the virtual clock, µs.
+    pub arrival_us: u64,
+    /// Absolute deadline, µs ([`Request::NO_DEADLINE`] = none).
+    pub deadline_us: u64,
+}
+
+impl Request {
+    /// Sentinel deadline meaning "no deadline".
+    pub const NO_DEADLINE: u64 = u64::MAX;
+
+    /// Request with no deadline, arriving at time 0.
+    pub fn new(id: u64, tokens: Vec<usize>) -> Self {
+        Self {
+            id,
+            tokens,
+            arrival_us: 0,
+            deadline_us: Self::NO_DEADLINE,
+        }
+    }
+
+    /// Set the arrival time (µs on the virtual clock).
+    pub fn with_arrival(mut self, arrival_us: u64) -> Self {
+        self.arrival_us = arrival_us;
+        self
+    }
+
+    /// Set an absolute deadline `budget_us` after arrival.
+    pub fn with_deadline(mut self, budget_us: u64) -> Self {
+        self.deadline_us = self.arrival_us.saturating_add(budget_us);
+        self
+    }
+}
+
+/// How a request's story ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// Served from the quantized 8-bit path with clean health.
+    ServedPrimary,
+    /// Served from the degraded reference (BF16, pristine weights) path.
+    ServedDegraded,
+    /// Rejected at admission: the bounded queue was full.
+    ShedQueueFull,
+    /// Aborted: the deadline's block budget ran out before a clean
+    /// response existed.
+    DeadlineMiss,
+}
+
+impl OutcomeKind {
+    /// Stable lowercase name (used in metrics labels and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            OutcomeKind::ServedPrimary => "served_primary",
+            OutcomeKind::ServedDegraded => "served_degraded",
+            OutcomeKind::ShedQueueFull => "shed_queue_full",
+            OutcomeKind::DeadlineMiss => "deadline_miss",
+        }
+    }
+
+    /// `true` when the caller got a usable result.
+    pub fn is_served(self) -> bool {
+        matches!(
+            self,
+            OutcomeKind::ServedPrimary | OutcomeKind::ServedDegraded
+        )
+    }
+}
+
+/// The runtime's answer for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's id.
+    pub id: u64,
+    /// How it ended.
+    pub outcome: OutcomeKind,
+    /// Argmax over the model's logits, for served outcomes only.
+    pub label: Option<usize>,
+    /// Forward attempts executed (0 for shed requests).
+    pub attempts: u32,
+    /// Attempts whose health was flagged unhealthy (each one retried or
+    /// degraded — never returned).
+    pub flagged: u32,
+    /// Completion time on the virtual clock, µs.
+    pub finish_us: u64,
+    /// `finish_us - arrival_us` (0 for shed requests).
+    pub latency_us: u64,
+}
+
+impl Response {
+    /// The shed response for `req`: rejected instantly at admission.
+    pub fn shed(req: &Request) -> Self {
+        Self {
+            id: req.id,
+            outcome: OutcomeKind::ShedQueueFull,
+            label: None,
+            attempts: 0,
+            flagged: 0,
+            finish_us: req.arrival_us,
+            latency_us: 0,
+        }
+    }
+}

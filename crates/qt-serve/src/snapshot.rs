@@ -1,0 +1,155 @@
+//! Crash-safe health snapshots.
+//!
+//! An edge deployment that reboots mid-incident should come back knowing
+//! it was degraded — otherwise it re-learns the fault environment from
+//! scratch, serving corrupt-prone traffic through the whole re-learning
+//! window. The snapshot is a small JSON document (breaker state, trip
+//! count, outcome counters) written with the same write-temp → fsync →
+//! rename discipline as qt-ckpt checkpoints: a crash mid-write leaves
+//! the previous snapshot intact, never a torn file.
+
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::sim::ServeReport;
+use serde_json::{json, Value};
+use std::path::Path;
+
+/// Schema tag written into every snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "qt-serve/health/v1";
+
+/// A durable point-in-time summary of serving health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSnapshot {
+    /// Breaker state at capture.
+    pub breaker_state: BreakerState,
+    /// Breaker trips so far.
+    pub breaker_trips: u64,
+    /// Unhealthy fraction of the breaker window at capture.
+    pub unhealthy_rate: f64,
+    /// Requests offered so far.
+    pub offered: u64,
+    /// Served from the primary path.
+    pub served_primary: u64,
+    /// Served degraded.
+    pub served_degraded: u64,
+    /// Shed at admission.
+    pub shed_queue_full: u64,
+    /// Deadline misses.
+    pub deadline_miss: u64,
+}
+
+impl HealthSnapshot {
+    /// Capture from a finished (or in-progress) report and its breaker.
+    pub fn capture(report: &ServeReport, breaker: &CircuitBreaker) -> Self {
+        Self {
+            breaker_state: breaker.state(),
+            breaker_trips: breaker.trips(),
+            unhealthy_rate: breaker.unhealthy_rate(),
+            offered: report.offered,
+            served_primary: report.served_primary,
+            served_degraded: report.served_degraded,
+            shed_queue_full: report.shed_queue_full,
+            deadline_miss: report.deadline_miss,
+        }
+    }
+
+    /// The snapshot as JSON.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "schema": SNAPSHOT_SCHEMA,
+            "breaker_state": self.breaker_state.name(),
+            "breaker_trips": self.breaker_trips,
+            "unhealthy_rate": self.unhealthy_rate,
+            "offered": self.offered,
+            "served_primary": self.served_primary,
+            "served_degraded": self.served_degraded,
+            "shed_queue_full": self.shed_queue_full,
+            "deadline_miss": self.deadline_miss,
+        })
+    }
+
+    /// Write atomically (temp file + fsync + rename): readers see either
+    /// the old snapshot or the new one, never a torn file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        qt_ckpt::atomic_write_str(path, &serde_json::to_string(&self.to_json()).unwrap())
+    }
+
+    /// Read a snapshot back. `None` when the file is missing, is not
+    /// JSON, or does not carry the expected schema tag.
+    pub fn load(path: &Path) -> Option<Self> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let v = serde_json::from_str(&text).ok()?;
+        if v.get("schema")?.as_str()? != SNAPSHOT_SCHEMA {
+            return None;
+        }
+        let state = match v.get("breaker_state")?.as_str()? {
+            "closed" => BreakerState::Closed,
+            "open" => BreakerState::Open,
+            "half_open" => BreakerState::HalfOpen,
+            _ => return None,
+        };
+        Some(Self {
+            breaker_state: state,
+            breaker_trips: v.get("breaker_trips")?.as_u64()?,
+            unhealthy_rate: v.get("unhealthy_rate")?.as_f64()?,
+            offered: v.get("offered")?.as_u64()?,
+            served_primary: v.get("served_primary")?.as_u64()?,
+            served_degraded: v.get("served_degraded")?.as_u64()?,
+            shed_queue_full: v.get("shed_queue_full")?.as_u64()?,
+            deadline_miss: v.get("deadline_miss")?.as_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerPolicy;
+    use qt_trace::LogHist;
+
+    fn report() -> ServeReport {
+        ServeReport {
+            offered: 10,
+            served_primary: 6,
+            served_degraded: 2,
+            shed_queue_full: 1,
+            deadline_miss: 1,
+            flagged_attempts: 3,
+            bits_flipped: 5,
+            breaker_trips: 0,
+            transitions: Vec::new(),
+            latency: LogHist::default(),
+            queue_wait: LogHist::default(),
+            max_queue_depth: 2,
+            end_us: 123,
+            responses: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("qt_serve_snap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("health.json");
+        let breaker = CircuitBreaker::new(BreakerPolicy::default());
+        let snap = HealthSnapshot::capture(&report(), &breaker);
+        snap.save(&path).unwrap();
+        let loaded = HealthSnapshot::load(&path).expect("snapshot loads");
+        assert_eq!(loaded, snap);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage_and_wrong_schema() {
+        let dir = std::env::temp_dir().join("qt_serve_snap_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("nope.json");
+        assert!(HealthSnapshot::load(&missing).is_none());
+        let torn = dir.join("torn.json");
+        std::fs::write(&torn, "{\"schema\": \"qt-serve/heal").unwrap();
+        assert!(HealthSnapshot::load(&torn).is_none());
+        let wrong = dir.join("wrong.json");
+        std::fs::write(&wrong, "{\"schema\": \"other/v9\"}").unwrap();
+        assert!(HealthSnapshot::load(&wrong).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

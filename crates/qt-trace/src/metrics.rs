@@ -60,6 +60,37 @@ impl LogHist {
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
     }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`) of the observed
+    /// magnitudes, to binade resolution.
+    ///
+    /// Observations are ordered zeros → binade buckets (ascending) →
+    /// non-finite, and each binade answers with its *upper* edge
+    /// `2^(b+1)` — a conservative bound, which is the right direction for
+    /// latency percentiles (a reported p99 is never below the true one).
+    /// Returns `None` when nothing has been observed. Non-finite
+    /// observations answer `f64::INFINITY`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.zeros + self.count() + self.nonfinite;
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the order statistic the quantile asks for.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = self.zeros;
+        if rank <= seen {
+            return Some(0.0);
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                let upper = i as i32 + TensorStats::LOG2_LO + 1;
+                return Some(libm::exp2(upper as f64));
+            }
+        }
+        Some(f64::INFINITY)
+    }
 }
 
 /// Registry of named, labelled metrics.
@@ -192,6 +223,28 @@ mod tests {
         // merging the pre-computed histogram doubles every bucket
         m.merge_hist("dist", &[], &stats.log2_hist);
         assert_eq!(m.hist("dist", &[]).unwrap().count(), 10);
+    }
+
+    #[test]
+    fn quantiles_walk_zeros_buckets_then_nonfinite() {
+        let mut h = LogHist::default();
+        assert_eq!(h.quantile(0.5), None);
+        // 2 zeros, 6 observations in binade [2,4), 2 in [8,16).
+        for _ in 0..2 {
+            h.observe(0.0);
+        }
+        for _ in 0..6 {
+            h.observe(3.0);
+        }
+        for _ in 0..2 {
+            h.observe(9.0);
+        }
+        assert_eq!(h.quantile(0.0), Some(0.0)); // rank 1 = a zero
+        assert_eq!(h.quantile(0.5), Some(4.0)); // upper edge of [2,4)
+        assert_eq!(h.quantile(0.99), Some(16.0)); // upper edge of [8,16)
+        assert_eq!(h.quantile(1.0), Some(16.0));
+        h.observe(f32::INFINITY);
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub struct LossScaler {
     events: Vec<ScalerEvent>,
     event_capacity: usize,
     events_dropped: u64,
+    dropped_since_drain: u64,
 }
 
 impl LossScaler {
@@ -65,6 +66,7 @@ impl LossScaler {
             events: Vec::new(),
             event_capacity: DEFAULT_EVENT_CAPACITY,
             events_dropped: 0,
+            dropped_since_drain: 0,
         }
     }
 
@@ -96,6 +98,7 @@ impl LossScaler {
         if len > self.event_capacity {
             self.events.drain(..len - self.event_capacity);
             self.events_dropped += (len - self.event_capacity) as u64;
+            self.dropped_since_drain += (len - self.event_capacity) as u64;
         }
         self
     }
@@ -132,9 +135,23 @@ impl LossScaler {
     }
 
     /// Drain the event log (telemetry consumers call this each step so
-    /// every adjustment is reported exactly once).
+    /// every adjustment is reported exactly once). Discards the
+    /// dropped-since-last-drain count; use [`LossScaler::drain_events`]
+    /// when the consumer wants to report evictions too.
     pub fn take_events(&mut self) -> Vec<ScalerEvent> {
-        std::mem::take(&mut self.events)
+        self.drain_events().0
+    }
+
+    /// Drain the event log along with the number of events evicted from
+    /// the ring *since the previous drain* — the count a telemetry
+    /// consumer must surface so ring overflow between two drains is
+    /// visible rather than silent. The cumulative
+    /// [`LossScaler::events_dropped`] counter is unaffected.
+    pub fn drain_events(&mut self) -> (Vec<ScalerEvent>, u64) {
+        (
+            std::mem::take(&mut self.events),
+            std::mem::take(&mut self.dropped_since_drain),
+        )
     }
 
     fn push_event(&mut self, ev: ScalerEvent) {
@@ -142,6 +159,7 @@ impl LossScaler {
             let excess = self.events.len() + 1 - self.event_capacity;
             self.events.drain(..excess);
             self.events_dropped += excess as u64;
+            self.dropped_since_drain += excess as u64;
         }
         self.events.push(ev);
     }
@@ -220,6 +238,7 @@ impl LossScaler {
             events: Vec::new(),
             event_capacity: (s.event_capacity as usize).max(1),
             events_dropped: s.events_dropped,
+            dropped_since_drain: 0,
         }
     }
 }
@@ -345,6 +364,30 @@ mod tests {
         // Draining resets the log but not the dropped count.
         assert_eq!(s.take_events().len(), 4);
         assert_eq!(s.events_dropped(), 6);
+    }
+
+    #[test]
+    fn drain_reports_drops_since_previous_drain() {
+        let mut s = LossScaler::new(2.0)
+            .with_bounds(2.0, 4.0)
+            .with_event_capacity(4);
+        for _ in 0..10 {
+            s.on_overflow();
+        }
+        let (events, dropped) = s.drain_events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(dropped, 6);
+        // A clean second interval drains empty with zero drops…
+        assert_eq!(s.drain_events(), (Vec::new(), 0));
+        // …while the cumulative counter keeps the full history.
+        assert_eq!(s.events_dropped(), 6);
+        for _ in 0..5 {
+            s.on_overflow();
+        }
+        let (events, dropped) = s.drain_events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(dropped, 1, "only the new interval's evictions");
+        assert_eq!(s.events_dropped(), 7);
     }
 
     #[test]

@@ -551,9 +551,12 @@ impl<O: Optimizer + Clone + CheckpointOptimizer> Trainer<O> {
         };
         // Global step index: applied + skipped, counting this one.
         let step = (self.steps + self.skipped) as u64;
-        let events = match &mut self.scaler {
-            Some(sc) => sc.take_events(),
-            None => Vec::new(),
+        let (events, events_dropped) = match &mut self.scaler {
+            Some(sc) => {
+                let (ev, _) = sc.drain_events();
+                (ev, Some(sc.events_dropped()))
+            }
+            None => (Vec::new(), None),
         };
         let scale = self.loss_scale();
         let mut t = trace.borrow_mut();
@@ -568,6 +571,9 @@ impl<O: Optimizer + Clone + CheckpointOptimizer> Trainer<O> {
             }
         }
         let m = t.metrics_mut();
+        if let Some(dropped) = events_dropped {
+            m.gauge_set("scaler.events_dropped", &[], dropped as f64);
+        }
         if applied {
             m.counter_add("train.steps", &[], 1);
             m.gauge_set("train.loss", &[], loss_value as f64);

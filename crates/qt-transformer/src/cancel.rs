@@ -1,0 +1,197 @@
+//! Cooperative cancellation for in-flight forward passes.
+//!
+//! A serving runtime cannot afford to run a 24-block forward to
+//! completion when the request's deadline expired after block 3. The
+//! autograd tape has no preemption points, so cancellation is
+//! *cooperative*: the model charges one credit per transformer block
+//! against a [`CancelToken`] threaded through the [`crate::QuantCtx`],
+//! and aborts cleanly (no partial output ever escapes) when the token is
+//! cancelled or its block budget runs dry.
+//!
+//! The budget is denominated in **blocks**, not wall time, on purpose:
+//! a block is the natural preemption granularity of the computation, and
+//! a block count is deterministic — the same request with the same
+//! budget aborts at exactly the same point on every host and at every
+//! thread-pool size, which is what lets the serving benchmarks produce
+//! bitwise-identical counters across `QT_THREADS` settings.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Why a forward pass was aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called (external abort: shutdown,
+    /// client disconnect, admission revoked).
+    Cancelled,
+    /// The block budget ran out (deadline expressed in block credits).
+    BudgetExhausted,
+}
+
+/// Error returned by [`crate::Model::try_forward`] when the attached
+/// token aborted the pass. No partial output accompanies it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForwardCancelled {
+    /// What tripped the abort.
+    pub cause: CancelCause,
+    /// Blocks fully completed before the abort.
+    pub blocks_completed: u64,
+}
+
+impl fmt::Display for ForwardCancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.cause {
+            CancelCause::Cancelled => write!(
+                f,
+                "forward cancelled after {} blocks",
+                self.blocks_completed
+            ),
+            CancelCause::BudgetExhausted => write!(
+                f,
+                "block budget exhausted after {} blocks",
+                self.blocks_completed
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ForwardCancelled {}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Remaining block credits; `u64::MAX` means unlimited.
+    remaining: AtomicU64,
+    /// Blocks charged so far.
+    used: AtomicU64,
+}
+
+/// Shared, thread-safe cancellation token.
+///
+/// Clones share state: a worker hands one clone to the forward pass and
+/// keeps another to [`CancelToken::cancel`] from outside.
+#[derive(Debug, Clone)]
+pub struct CancelToken(Arc<Inner>);
+
+impl CancelToken {
+    /// Token with an unlimited block budget (cancellable only via
+    /// [`CancelToken::cancel`]).
+    pub fn new() -> Self {
+        Self::with_block_budget(u64::MAX)
+    }
+
+    /// Token that permits at most `blocks` transformer blocks before the
+    /// forward pass aborts with [`CancelCause::BudgetExhausted`].
+    pub fn with_block_budget(blocks: u64) -> Self {
+        Self(Arc::new(Inner {
+            cancelled: AtomicBool::new(false),
+            remaining: AtomicU64::new(blocks),
+            used: AtomicU64::new(0),
+        }))
+    }
+
+    /// Request cancellation; the pass aborts at its next block boundary.
+    pub fn cancel(&self) {
+        self.0.cancelled.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Blocks charged against this token so far.
+    pub fn blocks_used(&self) -> u64 {
+        self.0.used.load(Ordering::Acquire)
+    }
+
+    /// Charge one block credit. Called by the model before each block.
+    ///
+    /// # Errors
+    ///
+    /// [`ForwardCancelled`] when the token was cancelled or the budget is
+    /// already spent; the block is then *not* charged.
+    pub fn charge_block(&self) -> Result<(), ForwardCancelled> {
+        let used = self.0.used.load(Ordering::Acquire);
+        if self.is_cancelled() {
+            return Err(ForwardCancelled {
+                cause: CancelCause::Cancelled,
+                blocks_completed: used,
+            });
+        }
+        let remaining = self.0.remaining.load(Ordering::Acquire);
+        if remaining == 0 {
+            return Err(ForwardCancelled {
+                cause: CancelCause::BudgetExhausted,
+                blocks_completed: used,
+            });
+        }
+        if remaining != u64::MAX {
+            self.0.remaining.fetch_sub(1, Ordering::AcqRel);
+        }
+        self.0.used.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_token_never_trips_on_budget() {
+        let t = CancelToken::new();
+        for _ in 0..1000 {
+            t.charge_block().unwrap();
+        }
+        assert_eq!(t.blocks_used(), 1000);
+    }
+
+    #[test]
+    fn budget_exhausts_exactly() {
+        let t = CancelToken::with_block_budget(3);
+        for _ in 0..3 {
+            t.charge_block().unwrap();
+        }
+        let e = t.charge_block().unwrap_err();
+        assert_eq!(e.cause, CancelCause::BudgetExhausted);
+        assert_eq!(e.blocks_completed, 3);
+        // Still exhausted on subsequent calls, blocks_used unchanged.
+        assert!(t.charge_block().is_err());
+        assert_eq!(t.blocks_used(), 3);
+    }
+
+    #[test]
+    fn cancel_wins_over_budget_and_is_shared_by_clones() {
+        let t = CancelToken::with_block_budget(10);
+        t.charge_block().unwrap();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        let e = t.charge_block().unwrap_err();
+        assert_eq!(e.cause, CancelCause::Cancelled);
+        assert_eq!(e.blocks_completed, 1);
+    }
+
+    #[test]
+    fn zero_budget_rejects_first_block() {
+        let t = CancelToken::with_block_budget(0);
+        let e = t.charge_block().unwrap_err();
+        assert_eq!(e.cause, CancelCause::BudgetExhausted);
+        assert_eq!(e.blocks_completed, 0);
+    }
+
+    #[test]
+    fn error_display_names_the_cause() {
+        let t = CancelToken::with_block_budget(0);
+        let e = t.charge_block().unwrap_err();
+        assert!(e.to_string().contains("budget"));
+    }
+}

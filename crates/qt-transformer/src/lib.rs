@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod config;
 pub mod heads;
 pub mod lora;
@@ -26,6 +27,7 @@ pub mod probe;
 pub mod qctx;
 pub mod softmax;
 
+pub use cancel::{CancelCause, CancelToken, ForwardCancelled};
 pub use config::{ModelKind, TransformerConfig};
 pub use heads::TaskHead;
 pub use lora::LoraConfig;

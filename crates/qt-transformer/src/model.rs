@@ -2,6 +2,7 @@
 //! support), encoder/decoder/enc-dec assembly, task heads, and
 //! quantization cuts at every operation boundary (Figure 5).
 
+use crate::cancel::ForwardCancelled;
 use crate::config::{ModelKind, TransformerConfig};
 use crate::heads::TaskHead;
 use crate::lora::LoraConfig;
@@ -210,8 +211,10 @@ impl Model {
     ///
     /// # Panics
     ///
-    /// Panics if an enc-dec model is called without `dec_batch`, or a
-    /// sequence exceeds `cfg.max_seq`.
+    /// Panics if an enc-dec model is called without `dec_batch`, a
+    /// sequence exceeds `cfg.max_seq`, or the context's cancellation
+    /// token aborts the pass (use [`Model::try_forward`] to handle
+    /// cancellation as a value).
     pub fn forward(
         &self,
         tape: &mut Tape,
@@ -220,6 +223,34 @@ impl Model {
         dec_batch: Option<&TokenBatch>,
         mode: TrainMode,
     ) -> ModelOutput {
+        self.try_forward(tape, qctx, batch, dec_batch, mode)
+            .expect("forward pass cancelled; call try_forward to handle this")
+    }
+
+    /// [`Model::forward`] with cooperative cancellation: one block credit
+    /// is charged against the context's [`crate::CancelToken`] before
+    /// every transformer block (encoder and decoder alike), so a serving
+    /// deadline can abort the pass mid-model. The pass either completes
+    /// fully or returns [`ForwardCancelled`] — a partial or stale output
+    /// never escapes. Without an attached token this never errors.
+    ///
+    /// # Errors
+    ///
+    /// [`ForwardCancelled`] when the attached token is cancelled or its
+    /// block budget runs out before the remaining blocks are charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an enc-dec model is called without `dec_batch`, or a
+    /// sequence exceeds `cfg.max_seq`.
+    pub fn try_forward(
+        &self,
+        tape: &mut Tape,
+        qctx: &QuantCtx,
+        batch: &TokenBatch,
+        dec_batch: Option<&TokenBatch>,
+        mode: TrainMode,
+    ) -> Result<ModelOutput, ForwardCancelled> {
         assert!(batch.seq <= self.cfg.max_seq, "sequence too long");
         let mut b = Builder {
             tape,
@@ -234,6 +265,7 @@ impl Model {
                 let mask = batch.padding_mask();
                 let mut x = x;
                 for l in 0..self.cfg.layers {
+                    qctx.charge_block()?;
                     x = b.block(x, None, &mask, &format!("enc.{l}"), batch.batch, batch.seq);
                 }
                 (x, batch)
@@ -243,6 +275,7 @@ impl Model {
                 let mask = causal_mask(batch);
                 let mut x = x;
                 for l in 0..self.cfg.layers {
+                    qctx.charge_block()?;
                     x = b.block(x, None, &mask, &format!("dec.{l}"), batch.batch, batch.seq);
                 }
                 (x, batch)
@@ -254,12 +287,14 @@ impl Model {
                 let mut m = b.embed(batch);
                 let enc_mask = batch.padding_mask();
                 for l in 0..self.cfg.layers {
+                    qctx.charge_block()?;
                     m = b.block(m, None, &enc_mask, &format!("enc.{l}"), batch.batch, batch.seq);
                 }
                 // decoder stack with cross-attention to m
                 let mut x = b.embed(dec);
                 let self_mask = causal_mask(dec);
                 for l in 0..self.cfg.layers {
+                    qctx.charge_block()?;
                     x = b.block(
                         x,
                         Some((m, &enc_mask)),
@@ -274,10 +309,21 @@ impl Model {
         };
         let logits = b.apply_head(hidden, head_batch);
         let vars = b.vars;
-        ModelOutput {
+        Ok(ModelOutput {
             logits,
             hidden,
             param_vars: vars,
+        })
+    }
+
+    /// Transformer blocks one full forward pass charges against a
+    /// cancellation token: `layers` for single-stack models, `2 × layers`
+    /// for encoder-decoders. Serving deadlines convert to block budgets
+    /// with this.
+    pub fn blocks_per_forward(&self) -> u64 {
+        match self.cfg.kind {
+            ModelKind::Encoder | ModelKind::Decoder => self.cfg.layers as u64,
+            ModelKind::EncDec => 2 * self.cfg.layers as u64,
         }
     }
 }
@@ -852,6 +898,75 @@ mod tests {
         assert!(records
             .iter()
             .any(|r| matches!(r.kind, RecordKind::Instant) && r.cat == "quant"));
+    }
+
+    #[test]
+    fn budgeted_forward_completes_fully_or_not_at_all() {
+        use crate::cancel::{CancelCause, CancelToken};
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = TransformerConfig::mobilebert_tiny_sim();
+        let model = Model::new(cfg.clone(), TaskHead::Span, &mut rng);
+        let batch = tiny_batch(&cfg, 1, 6, &mut rng);
+        let blocks = model.blocks_per_forward();
+        assert_eq!(blocks, cfg.layers as u64);
+
+        // Reference: no token attached.
+        let qctx = QuantCtx::inference(QuantScheme::posit8());
+        let mut tape = Tape::new();
+        let reference = model.forward(&mut tape, &qctx, &batch, None, TrainMode::Frozen);
+        let ref_logits = tape.value(reference.logits).data().to_vec();
+
+        // Exactly enough budget: completes, bitwise identical.
+        let token = CancelToken::with_block_budget(blocks);
+        let ctx = QuantCtx::inference(QuantScheme::posit8()).with_cancel(token.clone());
+        let mut t2 = Tape::new();
+        let out = model
+            .try_forward(&mut t2, &ctx, &batch, None, TrainMode::Frozen)
+            .expect("budget covers the full pass");
+        assert_eq!(t2.value(out.logits).data(), &ref_logits[..]);
+        assert_eq!(token.blocks_used(), blocks);
+
+        // One credit short: aborts at the final block, no output.
+        for budget in 0..blocks {
+            let token = CancelToken::with_block_budget(budget);
+            let ctx = QuantCtx::inference(QuantScheme::posit8()).with_cancel(token.clone());
+            let mut t3 = Tape::new();
+            let err = model
+                .try_forward(&mut t3, &ctx, &batch, None, TrainMode::Frozen)
+                .unwrap_err();
+            assert_eq!(err.cause, CancelCause::BudgetExhausted);
+            assert_eq!(err.blocks_completed, budget);
+            assert_eq!(token.blocks_used(), budget);
+        }
+
+        // External cancel before the pass: aborts at the first block.
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = QuantCtx::inference(QuantScheme::posit8()).with_cancel(token);
+        let mut t4 = Tape::new();
+        let err = model
+            .try_forward(&mut t4, &ctx, &batch, None, TrainMode::Frozen)
+            .unwrap_err();
+        assert_eq!(err.cause, CancelCause::Cancelled);
+        assert_eq!(err.blocks_completed, 0);
+    }
+
+    #[test]
+    fn encdec_budget_counts_both_stacks() {
+        use crate::cancel::CancelToken;
+        let mut rng = StdRng::seed_from_u64(10);
+        let cfg = TransformerConfig::whisper_tiny_sim();
+        let model = Model::new(cfg.clone(), TaskHead::LmTied, &mut rng);
+        assert_eq!(model.blocks_per_forward(), 2 * cfg.layers as u64);
+        let enc = tiny_batch(&cfg, 1, 6, &mut rng);
+        let dec = tiny_batch(&cfg, 1, 3, &mut rng);
+        let token = CancelToken::with_block_budget(model.blocks_per_forward());
+        let ctx = QuantCtx::inference(QuantScheme::fp32()).with_cancel(token.clone());
+        let mut tape = Tape::new();
+        model
+            .try_forward(&mut tape, &ctx, &enc, Some(&dec), TrainMode::Frozen)
+            .expect("budget covers both stacks");
+        assert_eq!(token.blocks_used(), 2 * cfg.layers as u64);
     }
 
     #[test]

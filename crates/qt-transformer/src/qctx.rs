@@ -11,6 +11,7 @@
 //!   per-tensor delayed scaling (§5.1) and recording the observed amax into
 //!   the shared [`AmaxTracker`].
 
+use crate::cancel::{CancelToken, ForwardCancelled};
 use crate::probe::ProbeStore;
 use crate::softmax::Softmax;
 use qt_autograd::{Tape, Var};
@@ -35,6 +36,7 @@ pub struct QuantCtx {
     probe: Option<Rc<RefCell<ProbeStore>>>,
     trace: Option<TraceHandle>,
     cycles: Option<Rc<dyn CycleModel>>,
+    cancel: Option<CancelToken>,
     training: bool,
 }
 
@@ -73,7 +75,31 @@ impl QuantCtx {
             probe: None,
             trace: None,
             cycles: None,
+            cancel: None,
             training,
+        }
+    }
+
+    /// Attach a cooperative cancellation token: the model charges one
+    /// block credit per transformer block against it and
+    /// [`crate::Model::try_forward`] aborts cleanly when the token
+    /// cancels or its budget runs dry.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Charge one block credit against the attached token; infallible
+    /// when no token is attached.
+    pub fn charge_block(&self) -> Result<(), ForwardCancelled> {
+        match &self.cancel {
+            Some(t) => t.charge_block(),
+            None => Ok(()),
         }
     }
 
