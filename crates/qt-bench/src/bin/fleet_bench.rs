@@ -1,0 +1,417 @@
+//! **Fleet bench**: synthetic diurnal/bursty load against the qt-fleet
+//! multi-replica serving fleet, comparing routing policies under
+//! replica crashes, corruption, and tenant bursts.
+//!
+//! Drives the deterministic discrete-event fleet simulation — virtual
+//! clock, heterogeneous replicas, real qt-par forward passes — so
+//! `BENCH_fleet.json` is byte-identical for identical flags regardless
+//! of host load or `QT_THREADS`. Each selected policy replays the same
+//! request stream against a fresh fleet; the report captures shed rate,
+//! deadline-miss rate, failover and hedge counts, latency percentiles,
+//! and per-replica lifecycle stats. Every served-primary response is
+//! then replay-audited against the fault environment — the
+//! `unflagged_corrupt` count must always be zero.
+//!
+//! Extra flags beyond the shared harness (`--quick`, `--out`, `--seed`):
+//!
+//! * `--rps R` — mean offered load, requests/second of virtual time
+//! * `--duration S` — virtual seconds of arrivals
+//! * `--deadline-ms M` — per-request deadline budget (0 = none)
+//! * `--shape constant|diurnal|bursty` — arrival-rate shape
+//! * `--period-ms M` — shape period (one simulated "day" / burst cycle)
+//! * `--users N` — simulated user population (default one million)
+//! * `--tenants N`, `--quota Q` — tenancy shape (quota 0 = unlimited)
+//! * `--replicas N`, `--formats a,b,..` — fleet shape (formats cycle)
+//! * `--ber B` — bit-flip BER on replica 0's stored weight codes
+//! * `--crash ID:AT_MS:DOWN_MS` — schedule an outage (repeatable)
+//! * `--mtbf-ms M`, `--mttr-ms M` — seeded random outages, all replicas
+//! * `--policy P` — one policy, or `all` (default) for the comparison
+//! * `--no-hedge`, `--max-failovers N`, `--snapshot-ms M` — fleet knobs
+//! * `--smoke` — assert the CI fault-tolerance invariants: at least one
+//!   failover, zero unflagged-corrupt responses, and every crashed
+//!   replica back in rotation (serving again after recovery)
+//!
+//! Identical seed and flags ⇒ byte-identical `BENCH_fleet.json`.
+
+use qt_fleet::{
+    audit_unflagged_corruption, run_fleet, ArrivalShape, DirSnapStore, FleetConfig,
+    FleetLoadSpec, FleetReport, ReplicaSpec, RouterPolicy,
+};
+use qt_quant::ElemFormat;
+use qt_robust::{BerFaultSource, CodeFormat, CrashSchedule, FaultSource, NoFaults};
+use qt_transformer::{Model, TaskHead, TransformerConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = qt_bench::Opts::parse();
+    let mut rps = 80.0f64;
+    let mut duration_s = if opts.quick { 2.0 } else { 6.0 };
+    let mut deadline_ms = 60u64;
+    let mut shape = "diurnal".to_string();
+    let mut period_ms = 500u64;
+    let mut users = 1_000_000u64;
+    let mut tenants = 4u32;
+    let mut quota = 0u64;
+    let mut seq = 8usize;
+    let mut n_replicas = 3usize;
+    let mut formats = vec![ElemFormat::P8E1, ElemFormat::E4M3, ElemFormat::Bf16];
+    let mut ber = 0.0f64;
+    let mut crashes: Vec<(usize, u64, u64)> = Vec::new();
+    let mut mtbf_ms = 0u64;
+    let mut mttr_ms = 0u64;
+    let mut policy_arg = "all".to_string();
+    let mut hedge = true;
+    let mut max_failovers = 3u32;
+    let mut snapshot_ms = 100u64;
+    let mut smoke = false;
+
+    let mut it = opts.extra.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rps" => {
+                if let Some(v) = it.next() {
+                    rps = v.parse().unwrap_or(rps);
+                }
+            }
+            "--duration" => {
+                if let Some(v) = it.next() {
+                    duration_s = v.parse().unwrap_or(duration_s);
+                }
+            }
+            "--deadline-ms" => {
+                if let Some(v) = it.next() {
+                    deadline_ms = v.parse().unwrap_or(deadline_ms);
+                }
+            }
+            "--shape" => {
+                if let Some(v) = it.next() {
+                    shape = v.clone();
+                }
+            }
+            "--period-ms" => {
+                if let Some(v) = it.next() {
+                    period_ms = v.parse().unwrap_or(period_ms);
+                }
+            }
+            "--users" => {
+                if let Some(v) = it.next() {
+                    users = v.parse().unwrap_or(users);
+                }
+            }
+            "--tenants" => {
+                if let Some(v) = it.next() {
+                    tenants = v.parse().unwrap_or(tenants);
+                }
+            }
+            "--quota" => {
+                if let Some(v) = it.next() {
+                    quota = v.parse().unwrap_or(quota);
+                }
+            }
+            "--seq" => {
+                if let Some(v) = it.next() {
+                    seq = v.parse().unwrap_or(seq);
+                }
+            }
+            "--replicas" => {
+                if let Some(v) = it.next() {
+                    n_replicas = v.parse().unwrap_or(n_replicas);
+                }
+            }
+            "--formats" => {
+                if let Some(v) = it.next() {
+                    let parsed: Vec<ElemFormat> =
+                        v.split(',').filter_map(ElemFormat::parse).collect();
+                    if !parsed.is_empty() {
+                        formats = parsed;
+                    }
+                }
+            }
+            "--ber" => {
+                if let Some(v) = it.next() {
+                    ber = v.parse().unwrap_or(ber);
+                }
+            }
+            "--crash" => {
+                if let Some(v) = it.next() {
+                    let parts: Vec<&str> = v.split(':').collect();
+                    if let [id, at, down] = parts.as_slice() {
+                        if let (Ok(id), Ok(at), Ok(down)) =
+                            (id.parse::<usize>(), at.parse::<u64>(), down.parse::<u64>())
+                        {
+                            crashes.push((id, at, down));
+                        }
+                    }
+                }
+            }
+            "--mtbf-ms" => {
+                if let Some(v) = it.next() {
+                    mtbf_ms = v.parse().unwrap_or(mtbf_ms);
+                }
+            }
+            "--mttr-ms" => {
+                if let Some(v) = it.next() {
+                    mttr_ms = v.parse().unwrap_or(mttr_ms);
+                }
+            }
+            "--policy" => {
+                if let Some(v) = it.next() {
+                    policy_arg = v.clone();
+                }
+            }
+            "--no-hedge" => hedge = false,
+            "--max-failovers" => {
+                if let Some(v) = it.next() {
+                    max_failovers = v.parse().unwrap_or(max_failovers);
+                }
+            }
+            "--snapshot-ms" => {
+                if let Some(v) = it.next() {
+                    snapshot_ms = v.parse().unwrap_or(snapshot_ms);
+                }
+            }
+            "--smoke" => smoke = true,
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+
+    let model_cfg = TransformerConfig::mobilebert_tiny_sim();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let model = Model::new(model_cfg, TaskHead::Classify(2), &mut rng);
+    let vocab = model.cfg.vocab;
+    let duration_us = (duration_s * 1e6) as u64;
+
+    // Fleet shape: formats cycle across the replica count, each replica
+    // gets its scheduled outages (explicit --crash windows first, then a
+    // seeded MTBF/MTTR schedule if requested).
+    let n_replicas = n_replicas.max(1);
+    let mut specs = Vec::with_capacity(n_replicas);
+    for r in 0..n_replicas {
+        let mut spec = ReplicaSpec::new(formats[r % formats.len()]);
+        let mut windows: Vec<_> = crashes
+            .iter()
+            .filter(|&&(id, _, _)| id == r)
+            .map(|&(_, at, down)| (at * 1_000, down * 1_000))
+            .collect();
+        let sched = if mtbf_ms > 0 && mttr_ms > 0 {
+            CrashSchedule::seeded(
+                opts.seed ^ (0xc4a5 + r as u64),
+                duration_us,
+                mtbf_ms * 1_000,
+                mttr_ms * 1_000,
+            )
+        } else if let Some((at, down)) = (windows.len() == 1).then(|| windows.remove(0)) {
+            CrashSchedule::single(at, down)
+        } else {
+            CrashSchedule::from_windows(
+                windows
+                    .into_iter()
+                    .map(|(at, down)| qt_robust::CrashWindow {
+                        down_at_us: at,
+                        up_at_us: at + down,
+                    })
+                    .collect(),
+            )
+        };
+        spec = spec.with_crashes(sched);
+        specs.push(spec);
+    }
+    let crashed_ids: Vec<usize> = specs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.crashes.is_empty())
+        .map(|(r, _)| r)
+        .collect();
+
+    // Fault environment: the BER hits replica 0's stored codes (the
+    // fast posit8 node lives in the fault environment; wide-format
+    // replicas are immune by construction). Rebuilt fresh per policy
+    // run so every policy sees identical fault draws.
+    let faults_for = |specs: &[ReplicaSpec]| -> Vec<Box<dyn FaultSource + Send + Sync>> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(r, spec)| -> Box<dyn FaultSource + Send + Sync> {
+                match (r == 0 && ber > 0.0, CodeFormat::new(spec.format)) {
+                    (true, Some(codec)) => {
+                        Box::new(BerFaultSource::new(opts.seed ^ 0xfa17, codec, ber))
+                    }
+                    _ => Box::new(NoFaults),
+                }
+            })
+            .collect()
+    };
+
+    let arrival_shape = match shape.as_str() {
+        "constant" => ArrivalShape::Constant,
+        "bursty" => ArrivalShape::Bursty {
+            burst_len_us: (period_ms * 1_000) / 5,
+            burst_mult: 4.0,
+        },
+        _ => ArrivalShape::Diurnal { trough_ratio: 0.3 },
+    };
+    let spec = FleetLoadSpec {
+        rps,
+        duration_us,
+        shape: arrival_shape,
+        period_us: period_ms.max(1) * 1_000,
+        users,
+        tenants,
+        deadline_us: deadline_ms.saturating_mul(1_000),
+        seq,
+        seed: opts.seed,
+    };
+    let requests = spec.requests(vocab);
+    eprintln!(
+        "[fleet_bench] {} requests at {rps} rps ({shape}) over {duration_s}s across {} users, \
+         {n_replicas} replicas, deadline {deadline_ms} ms, ber {ber:e}, {} scheduled outages",
+        requests.len(),
+        users,
+        crashes.len()
+    );
+
+    let policies: Vec<RouterPolicy> = if policy_arg == "all" {
+        vec![
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastLoaded,
+            RouterPolicy::HealthAware,
+        ]
+    } else {
+        vec![RouterPolicy::parse(&policy_arg).unwrap_or_else(|| {
+            eprintln!("unknown policy {policy_arg:?}; using health_aware");
+            RouterPolicy::HealthAware
+        })]
+    };
+
+    std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
+    let mut policy_docs: Vec<serde_json::Value> = Vec::new();
+    let mut reports: Vec<(RouterPolicy, FleetReport, u64)> = Vec::new();
+    for policy in policies {
+        let cfg = FleetConfig {
+            replicas: specs.clone(),
+            policy,
+            tenants,
+            tenant_quota: quota,
+            max_failovers,
+            hedge,
+            snapshot_every_us: snapshot_ms * 1_000,
+            retry_seed: opts.seed,
+        };
+        let snap_dir = opts.out_dir.join(format!("fleet_snaps_{}", policy.name()));
+        let trace = opts.open_trace(&format!("fleet_bench_{}", policy.name()));
+        let report = run_fleet(
+            &model,
+            &cfg,
+            &requests,
+            faults_for(&specs),
+            Box::new(DirSnapStore::new(&snap_dir)),
+            trace.as_ref(),
+        );
+        opts.close_trace(trace);
+        assert!(
+            report.reconciles(),
+            "{}: outcome counters must reconcile to offered load",
+            policy.name()
+        );
+        let unflagged = audit_unflagged_corruption(&model, &cfg, &requests, faults_for(&specs), &report);
+        let mut doc = report.to_json();
+        if let serde_json::Value::Object(map) = &mut doc {
+            map.insert("unflagged_corrupt".into(), serde_json::json!(unflagged));
+        }
+        eprintln!(
+            "[fleet_bench] {}: goodput {:.3}, shed {:.3}, miss {:.3}, failovers {} \
+             (crash {}), hedges {}, unflagged corrupt {}",
+            policy.name(),
+            report.goodput(),
+            report.shed_rate(),
+            report.miss_rate(),
+            report.failovers,
+            report.crash_failovers,
+            report.hedges,
+            unflagged
+        );
+        policy_docs.push(doc);
+        reports.push((policy, report, unflagged));
+    }
+
+    if smoke {
+        for (policy, report, unflagged) in &reports {
+            assert_eq!(
+                *unflagged,
+                0,
+                "{}: served-primary responses must replay clean",
+                policy.name()
+            );
+            if !crashed_ids.is_empty() {
+                assert!(
+                    report.failovers + report.requeued_on_crash > 0,
+                    "{}: a mid-run crash must fail work over",
+                    policy.name()
+                );
+                for &r in &crashed_ids {
+                    let stats = &report.replicas[r].stats;
+                    assert!(
+                        stats.recoveries > 0,
+                        "{}: replica {r} must recover from its outage",
+                        policy.name()
+                    );
+                    assert!(
+                        stats.served_after_recovery > 0,
+                        "{}: recovered replica {r} must rejoin the rotation",
+                        policy.name()
+                    );
+                }
+            }
+        }
+        eprintln!("[fleet_bench] smoke invariants hold");
+    }
+
+    let doc = serde_json::json!({
+        "schema": "qt-fleet/bench/v1",
+        "bench": "fleet_bench",
+        "seed": opts.seed,
+        "rps": rps,
+        "duration_s": duration_s,
+        "deadline_ms": deadline_ms,
+        "shape": shape,
+        "users": users,
+        "tenants": tenants,
+        "quota": quota,
+        "ber": ber,
+        "replicas": specs.iter().map(|s| s.format.name()).collect::<Vec<_>>(),
+        "crashes": crashes
+            .iter()
+            .map(|&(id, at, down)| serde_json::json!({
+                "replica": id, "at_ms": at, "down_ms": down,
+            }))
+            .collect::<Vec<_>>(),
+        "hedge": hedge,
+        "policies": policy_docs,
+    });
+    let path = opts.out_dir.join("BENCH_fleet.json");
+    let mut text = serde_json::to_string_pretty(&doc).expect("serializable");
+    text.push('\n');
+    // Atomic write (qt-ckpt): a crash here never leaves a torn report.
+    qt_ckpt::atomic_write_str(&path, &text).expect("write BENCH_fleet.json");
+    eprintln!("[fleet_bench] wrote {}", path.display());
+
+    // Quick textual comparison table for humans.
+    println!("fleet_bench (seed {}, {} requests)", opts.seed, requests.len());
+    println!(
+        "  {:<14} {:>8} {:>8} {:>8} {:>10} {:>8} {:>10} {:>10}",
+        "policy", "goodput", "shed", "miss", "failovers", "hedges", "p50 ms", "p99 ms"
+    );
+    for (policy, report, _) in &reports {
+        println!(
+            "  {:<14} {:>8.3} {:>8.3} {:>8.3} {:>10} {:>8} {:>10.2} {:>10.2}",
+            policy.name(),
+            report.goodput(),
+            report.shed_rate(),
+            report.miss_rate(),
+            report.failovers + report.requeued_on_crash,
+            report.hedges,
+            report.latency_quantile_us(0.5).unwrap_or(0.0) / 1_000.0,
+            report.latency_quantile_us(0.99).unwrap_or(0.0) / 1_000.0,
+        );
+    }
+}

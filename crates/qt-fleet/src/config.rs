@@ -1,0 +1,124 @@
+//! Fleet configuration: per-replica shape and fleet-wide policy.
+
+use crate::router::RouterPolicy;
+use qt_quant::ElemFormat;
+use qt_robust::CrashSchedule;
+use qt_serve::{BreakerPolicy, RetryPolicy};
+
+/// Everything that makes one replica what it is: its storage format,
+/// its speed, its local admission shape, and its failure schedule.
+///
+/// Heterogeneous fleets are the point — a BF16 replica is slower (wider
+/// fetches) but immune to 8-bit code corruption, a posit8 replica is
+/// fast but lives in the fault environment. Per-replica format is a
+/// real capacity knob, and the router gets to exploit it.
+#[derive(Debug, Clone)]
+pub struct ReplicaSpec {
+    /// Element format of this replica's primary quantized path.
+    pub format: ElemFormat,
+    /// Virtual service cost of one transformer block on this replica,
+    /// µs. Defaults scale with the format's storage width.
+    pub per_block_us: u64,
+    /// Simulated service workers on this replica.
+    pub workers: usize,
+    /// Local admission-queue capacity.
+    pub queue_cap: usize,
+    /// Retry limits for flagged attempts *on this replica* (exhausting
+    /// them triggers fleet-level failover, not local degradation).
+    pub retry: RetryPolicy,
+    /// Circuit-breaker policy over this replica's primary-path health.
+    pub breaker: BreakerPolicy,
+    /// Crash/restart schedule (empty = never crashes).
+    pub crashes: CrashSchedule,
+}
+
+impl ReplicaSpec {
+    /// Base per-block cost of an 8-bit replica, µs.
+    pub const BASE_BLOCK_US: u64 = 1_000;
+
+    /// Spec for `format` with the default shape: one worker, an 8-deep
+    /// queue, per-block cost scaled by storage width (a BF16 replica
+    /// moves twice the bytes of a posit8 one).
+    pub fn new(format: ElemFormat) -> Self {
+        Self {
+            format,
+            per_block_us: Self::BASE_BLOCK_US * format.bits() as u64 / 8,
+            workers: 1,
+            queue_cap: 8,
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            crashes: CrashSchedule::none(),
+        }
+    }
+
+    /// Attach a crash schedule.
+    pub fn with_crashes(mut self, crashes: CrashSchedule) -> Self {
+        self.crashes = crashes;
+        self
+    }
+
+    /// Clamp structural knobs to their minimums.
+    pub fn normalized(mut self) -> Self {
+        self.workers = self.workers.max(1);
+        self.queue_cap = self.queue_cap.max(1);
+        self.per_block_us = self.per_block_us.max(1);
+        self
+    }
+}
+
+/// Fleet-wide policy.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The replicas, in id order.
+    pub replicas: Vec<ReplicaSpec>,
+    /// Routing policy.
+    pub policy: RouterPolicy,
+    /// Tenant count (requests carry `user % tenants`).
+    pub tenants: u32,
+    /// Max outstanding (queued + in service) requests per tenant across
+    /// the fleet; 0 = unlimited. The admission-side fairness knob: one
+    /// tenant's burst sheds as [`crate::FleetOutcome::ShedQuota`]
+    /// instead of starving everyone else's queue slots.
+    pub tenant_quota: u64,
+    /// Max fleet-level failovers per request before it is forced onto
+    /// the degraded path of wherever it last ran.
+    pub max_failovers: u32,
+    /// Hedge deadline-risky dispatches: when a worker picks up a request
+    /// whose remaining budget cannot fit a full pass *here* but fits on
+    /// another eligible replica, re-route it there instead of burning
+    /// the budget on a doomed attempt.
+    pub hedge: bool,
+    /// Write each up replica's health snapshot every this many virtual
+    /// µs (0 = never). Crash recovery reloads the last written snapshot
+    /// — state since it is lost, exactly like a real reboot.
+    pub snapshot_every_us: u64,
+    /// Master seed for retry-backoff jitter streams.
+    pub retry_seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            replicas: vec![ReplicaSpec::new(ElemFormat::P8E1); 2],
+            policy: RouterPolicy::HealthAware,
+            tenants: 4,
+            tenant_quota: 0,
+            max_failovers: 3,
+            hedge: true,
+            snapshot_every_us: 100_000,
+            retry_seed: 0xf1ee7,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Normalize every replica and clamp fleet knobs.
+    pub fn normalized(mut self) -> Self {
+        if self.replicas.is_empty() {
+            self.replicas.push(ReplicaSpec::new(ElemFormat::P8E1));
+        }
+        self.replicas = self.replicas.into_iter().map(ReplicaSpec::normalized).collect();
+        self.tenants = self.tenants.max(1);
+        self
+    }
+}

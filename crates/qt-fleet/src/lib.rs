@@ -1,0 +1,54 @@
+//! qt-fleet: a fault-tolerant multi-replica serving fleet over the
+//! qt-serve engine.
+//!
+//! One replica with a circuit breaker degrades gracefully; a *fleet* of
+//! them can do better — route around a corrupting replica entirely,
+//! absorb a crash by failing in-flight work over to healthy peers, and
+//! let the crashed node rejoin by re-earning traffic through half-open
+//! probing. This crate is that layer:
+//!
+//! - **Replicas** ([`replica`]) — each with its own element format,
+//!   service speed, admission queue, circuit breaker, fault environment,
+//!   and crash/restart schedule ([`qt_robust::CrashSchedule`]). Health
+//!   state persists through a [`SnapStore`] so a rebooted replica
+//!   resumes its trip history — and a corrupt snapshot is surfaced,
+//!   never silently replaced by a fresh boot.
+//! - **Routing** ([`router`]) — pluggable policies (round-robin,
+//!   least-loaded, health-aware with an explicit probe quota) over a
+//!   shared eligibility gate: a replica that is down, breaker-Open,
+//!   full, or that already failed this request is never selected.
+//! - **Failover** ([`sim`]) — a request that exhausts its flagged-
+//!   attempt retries on one replica, or whose replica crashes under it,
+//!   moves to a different healthy replica; deadline-doomed pickups hedge
+//!   to a replica that still fits the budget.
+//! - **Tenancy** ([`tenant`]) — per-tenant outstanding-request quotas so
+//!   one tenant's burst sheds its own overflow.
+//! - **Load** ([`load`]) — synthetic diurnal/bursty open-loop arrivals
+//!   over a million-user population.
+//!
+//! Everything runs in a single-threaded discrete-event simulation on a
+//! virtual microsecond clock; the forward passes inside run on the real
+//! qt-par kernels, which are bitwise deterministic at any `QT_THREADS` —
+//! so a [`FleetReport`] (and its JSON) is byte-identical across thread
+//! counts and replays.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod load;
+pub mod replica;
+pub mod report;
+pub mod router;
+pub mod sim;
+pub mod tenant;
+
+pub use config::{FleetConfig, ReplicaSpec};
+pub use load::{ArrivalShape, FleetLoadSpec, FleetRequest};
+pub use replica::{DirSnapStore, MemSnapStore, Replica, ReplicaStats, SnapStore};
+pub use report::{
+    Dispatch, DispatchCause, FleetOutcome, FleetReport, FleetResponse, ReplicaReport,
+};
+pub use router::{ReplicaView, Router, RouterPolicy};
+pub use sim::{audit_unflagged_corruption, run_fleet, Fleet};
+pub use tenant::TenantBook;

@@ -1,0 +1,287 @@
+//! Routing policies over a fleet of replicas.
+//!
+//! The router is a pure decision function over immutable
+//! [`ReplicaView`]s — it never touches a replica directly. That keeps
+//! the eligibility invariant auditable in one place: a replica that is
+//! down, whose breaker is Open, whose queue is full, or that the caller
+//! excluded (it just failed this very request) is *never* selected, by
+//! any policy. Within the eligible set the policies differ in what they
+//! optimize; across the eligible set they share deterministic
+//! tie-breaking by replica id, so a fleet run replays bit-exactly.
+
+use qt_serve::BreakerState;
+
+/// Which routing policy the fleet runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Rotate through eligible replicas in id order.
+    RoundRobin,
+    /// Pick the eligible replica with the smallest estimated backlog
+    /// (outstanding work × per-pass cost — a slow BF16 replica with two
+    /// queued requests is "fuller" than a fast posit8 one with three).
+    LeastLoaded,
+    /// [`RouterPolicy::LeastLoaded`] among *Closed*-breaker replicas,
+    /// with a probe quota: every [`Router::PROBE_EVERY`]-th decision
+    /// prefers a HalfOpen replica so recovering nodes actually receive
+    /// the probe traffic they need to close their breakers. Without the
+    /// quota a healthy majority starves recovering replicas forever.
+    HealthAware,
+}
+
+impl RouterPolicy {
+    /// Stable lowercase name (JSON, CLI flags, metrics labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round_robin",
+            RouterPolicy::LeastLoaded => "least_loaded",
+            RouterPolicy::HealthAware => "health_aware",
+        }
+    }
+
+    /// Parse a [`RouterPolicy::name`] back (CLI flags).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "round_robin" => Some(RouterPolicy::RoundRobin),
+            "least_loaded" => Some(RouterPolicy::LeastLoaded),
+            "health_aware" => Some(RouterPolicy::HealthAware),
+            _ => None,
+        }
+    }
+}
+
+/// What the router is allowed to know about one replica at decision
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaView {
+    /// Replica id (index in the fleet).
+    pub id: usize,
+    /// Up per its crash schedule at this instant.
+    pub up: bool,
+    /// Breaker state at this instant.
+    pub breaker: BreakerState,
+    /// Requests waiting in the local queue.
+    pub queued: usize,
+    /// Requests currently in service.
+    pub in_service: usize,
+    /// Local queue capacity.
+    pub queue_cap: usize,
+    /// Virtual cost of one full forward pass here, µs (the
+    /// heterogeneity knob: backlog is work × this).
+    pub full_pass_us: u64,
+}
+
+impl ReplicaView {
+    /// Estimated µs of work ahead of a new arrival here.
+    pub fn backlog_us(&self) -> u64 {
+        (self.queued + self.in_service) as u64 * self.full_pass_us
+    }
+
+    /// Room for one more request in the local queue?
+    pub fn has_room(&self) -> bool {
+        self.queued < self.queue_cap
+    }
+
+    /// The shared eligibility gate: up, breaker not Open, queue not
+    /// full. (Exclusion is per-decision and handled by the router.)
+    pub fn eligible(&self) -> bool {
+        self.up && self.breaker != BreakerState::Open && self.has_room()
+    }
+}
+
+/// The routing decision state: policy plus the cursors that make
+/// round-robin and probe quotas deterministic.
+#[derive(Debug, Clone)]
+pub struct Router {
+    policy: RouterPolicy,
+    /// Next id round-robin would like to start scanning from.
+    rr_cursor: usize,
+    /// Decisions made so far (drives the HealthAware probe quota).
+    decisions: u64,
+}
+
+impl Router {
+    /// HealthAware sends every n-th decision to a HalfOpen replica when
+    /// one exists. 8 keeps probe traffic ~12% of demand — enough to
+    /// close a default breaker (3 consecutive clean probes) quickly,
+    /// small enough that a flapping replica cannot drag down p99.
+    pub const PROBE_EVERY: u64 = 8;
+
+    /// A router running `policy`.
+    pub fn new(policy: RouterPolicy) -> Self {
+        Self {
+            policy,
+            rr_cursor: 0,
+            decisions: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> RouterPolicy {
+        self.policy
+    }
+
+    /// Decisions made so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Pick a replica for one request, or `None` when no replica is
+    /// eligible (the caller sheds). `exclude` lists replicas this
+    /// request must not land on again — the one that just corrupted or
+    /// crashed under it.
+    ///
+    /// Invariants, by construction, for every policy:
+    /// - never returns a replica with `up == false`;
+    /// - never returns a replica whose breaker is `Open`;
+    /// - never returns a replica with a full queue;
+    /// - never returns a member of `exclude`.
+    pub fn pick(&mut self, views: &[ReplicaView], exclude: &[usize]) -> Option<usize> {
+        self.decisions += 1;
+        let ok = |v: &ReplicaView| v.eligible() && !exclude.contains(&v.id);
+        let picked = match self.policy {
+            RouterPolicy::RoundRobin => {
+                let n = views.len().max(1);
+                let found = (0..n)
+                    .map(|k| (self.rr_cursor + k) % n)
+                    .find(|&i| views.get(i).map(&ok).unwrap_or(false));
+                if let Some(i) = found {
+                    self.rr_cursor = (i + 1) % n;
+                }
+                found
+            }
+            RouterPolicy::LeastLoaded => Self::least_backlog(views.iter().filter(|v| ok(v))),
+            RouterPolicy::HealthAware => {
+                let probing = self.decisions.is_multiple_of(Self::PROBE_EVERY);
+                let half_open = || {
+                    Self::least_backlog(
+                        views
+                            .iter()
+                            .filter(|v| ok(v) && v.breaker == BreakerState::HalfOpen),
+                    )
+                };
+                let closed = || {
+                    Self::least_backlog(
+                        views
+                            .iter()
+                            .filter(|v| ok(v) && v.breaker == BreakerState::Closed),
+                    )
+                };
+                if probing {
+                    // Probe turn: a HalfOpen replica gets the request if
+                    // any exists; otherwise fall through to Closed.
+                    half_open().or_else(closed)
+                } else {
+                    // Normal turn: Closed replicas first; HalfOpen only
+                    // when nothing Closed is eligible (better a probe
+                    // than a shed).
+                    closed().or_else(half_open)
+                }
+            }
+        };
+        picked
+    }
+
+    /// Smallest estimated backlog; ties broken by id (iteration is in id
+    /// order, and strict `<` keeps the first).
+    fn least_backlog<'a>(views: impl Iterator<Item = &'a ReplicaView>) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for v in views {
+            let key = (v.backlog_us(), v.id);
+            if best.map(|b| key < b).unwrap_or(true) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(id: usize, breaker: BreakerState, queued: usize) -> ReplicaView {
+        ReplicaView {
+            id,
+            up: true,
+            breaker,
+            queued,
+            in_service: 0,
+            queue_cap: 4,
+            full_pass_us: 6_000,
+        }
+    }
+
+    #[test]
+    fn no_policy_ever_picks_open_down_full_or_excluded() {
+        let views = vec![
+            ReplicaView {
+                up: false,
+                ..view(0, BreakerState::Closed, 0)
+            },
+            view(1, BreakerState::Open, 0),
+            view(2, BreakerState::Closed, 4), // full
+            view(3, BreakerState::Closed, 0), // excluded below
+            view(4, BreakerState::Closed, 3),
+        ];
+        for policy in [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastLoaded,
+            RouterPolicy::HealthAware,
+        ] {
+            let mut r = Router::new(policy);
+            for _ in 0..32 {
+                assert_eq!(r.pick(&views, &[3]), Some(4), "{policy:?}");
+            }
+            // And with 4 also excluded: nothing is eligible.
+            assert_eq!(r.pick(&views, &[3, 4]), None, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_over_eligible_only() {
+        let views = vec![
+            view(0, BreakerState::Closed, 0),
+            view(1, BreakerState::Open, 0),
+            view(2, BreakerState::Closed, 0),
+        ];
+        let mut r = Router::new(RouterPolicy::RoundRobin);
+        let picks: Vec<_> = (0..6).map(|_| r.pick(&views, &[]).unwrap()).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn least_loaded_weighs_backlog_by_replica_speed() {
+        // Replica 0: 1 queued × 12ms pass = 12ms backlog.
+        // Replica 1: 2 queued × 4ms pass = 8ms backlog → less loaded.
+        let views = vec![
+            ReplicaView {
+                full_pass_us: 12_000,
+                ..view(0, BreakerState::Closed, 1)
+            },
+            ReplicaView {
+                full_pass_us: 4_000,
+                ..view(1, BreakerState::Closed, 2)
+            },
+        ];
+        let mut r = Router::new(RouterPolicy::LeastLoaded);
+        assert_eq!(r.pick(&views, &[]), Some(1));
+    }
+
+    #[test]
+    fn health_aware_prefers_closed_but_spends_probe_quota_on_halfopen() {
+        let views = vec![
+            view(0, BreakerState::Closed, 0),
+            view(1, BreakerState::HalfOpen, 0),
+        ];
+        let mut r = Router::new(RouterPolicy::HealthAware);
+        let picks: Vec<_> = (0..Router::PROBE_EVERY * 2)
+            .map(|_| r.pick(&views, &[]).unwrap())
+            .collect();
+        let probes = picks.iter().filter(|&&p| p == 1).count();
+        assert_eq!(probes, 2, "exactly the quota turns probe: {picks:?}");
+        // With only HalfOpen replicas eligible, normal turns still route
+        // there instead of shedding.
+        let only_half = vec![view(1, BreakerState::HalfOpen, 0)];
+        assert_eq!(r.pick(&only_half, &[]), Some(1));
+    }
+}

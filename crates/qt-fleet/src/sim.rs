@@ -1,0 +1,1053 @@
+//! The deterministic multi-replica fleet simulation.
+//!
+//! One single-threaded discrete-event loop on a virtual microsecond
+//! clock drives every replica: arrivals are routed by the fleet
+//! [`Router`], service episodes run on the clock-free qt-serve
+//! [`qt_serve::Engine`] attempt API, crashes truncate in-flight work at
+//! the exact outage instant, and recovered replicas re-earn traffic
+//! through half-open probing. The forward passes inside execute on the
+//! real qt-par kernels, whose results are bitwise identical at any
+//! `QT_THREADS` — so the whole [`FleetReport`] is too.
+//!
+//! Event ordering at equal timestamps is fixed by kind rank: completions
+//! free workers first, then failed requests re-route, then lifecycle
+//! transitions fire, then new arrivals are admitted, then snapshots are
+//! written. Ties within a kind break by insertion sequence. This total
+//! order is what makes crash-instant races (a pass finishing at exactly
+//! `down_at`, a failover leaving as the queue drains) deterministic
+//! instead of racy.
+//!
+//! Crash truncation is computed *synchronously* at pickup: an episode's
+//! block budget is the minimum of its deadline budget and the blocks
+//! that fit before the replica's next scheduled outage, so no completion
+//! event ever lands on a dead replica and the simulation needs no event
+//! cancellation machinery.
+
+use crate::config::FleetConfig;
+use crate::load::FleetRequest;
+use crate::replica::{Replica, SnapStore};
+use crate::report::{
+    Dispatch, DispatchCause, FleetOutcome, FleetReport, FleetResponse, ReplicaReport,
+};
+use crate::router::{ReplicaView, Router};
+use crate::tenant::TenantBook;
+use qt_quant::HealthWindow;
+use qt_robust::{cell_seed, FaultSource, LifecycleEvent, NoFaults};
+use qt_serve::{Backoff, BreakerState, Request};
+use qt_trace::{LogHist, TraceHandle};
+use qt_transformer::Model;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Hard cap on forward attempts per request across the whole fleet, so
+/// a deadline-less request in a pathological fault environment still
+/// terminates.
+const ATTEMPT_HARD_CAP: u32 = 16;
+
+/// One request's mutable fleet-side state as it moves between replicas.
+#[derive(Debug, Clone)]
+struct Job {
+    freq: FleetRequest,
+    /// Forward attempts executed so far, across replicas.
+    attempts: u32,
+    /// Flagged attempts so far, across replicas.
+    flagged: u32,
+    /// Fleet-level failovers so far.
+    failovers: u32,
+    hedged: bool,
+    /// Replicas this request must never land on again (each one failed
+    /// it: corrupted its attempts or crashed under it).
+    excluded: Vec<usize>,
+    /// First service pickup already recorded in the queue-wait histogram.
+    waited: bool,
+}
+
+impl Job {
+    fn new(freq: FleetRequest) -> Self {
+        Self {
+            freq,
+            attempts: 0,
+            flagged: 0,
+            failovers: 0,
+            hedged: false,
+            excluded: Vec::new(),
+            waited: false,
+        }
+    }
+}
+
+/// Event kinds; rank fixes processing order at equal timestamps.
+enum Ev {
+    /// A worker on replica `.0` finished; `.1` releases that tenant's
+    /// quota slot (set for final outcomes, not failovers).
+    Done(usize, Option<u32>),
+    /// A request leaves its failed replica and re-routes.
+    Failover(Box<Job>, DispatchCause),
+    /// A replica crashes or finishes rebooting.
+    Lifecycle(usize, LifecycleEvent),
+    /// A request arrives at the fleet edge.
+    Arrival(Box<FleetRequest>),
+    /// Periodic health-snapshot persistence.
+    SnapshotTick,
+}
+
+impl Ev {
+    fn rank(&self) -> u8 {
+        match self {
+            Ev::Done(..) => 0,
+            Ev::Failover(..) => 1,
+            Ev::Lifecycle(..) => 2,
+            Ev::Arrival(..) => 3,
+            Ev::SnapshotTick => 4,
+        }
+    }
+}
+
+/// Heap entry: min-ordered by (time, kind rank, insertion sequence).
+struct Entry {
+    at: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.ev.rank(), self.seq) == (other.at, other.ev.rank(), other.seq)
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.ev.rank(), other.seq).cmp(&(self.at, self.ev.rank(), self.seq))
+    }
+}
+
+/// How one service episode on one replica ended.
+enum EpisodeEnd {
+    /// Clean response at `at` (primary or degraded path).
+    Served {
+        primary: bool,
+        label: Option<usize>,
+        at: u64,
+    },
+    /// Deadline block budget exhausted at `at`.
+    Miss { at: u64 },
+    /// Local flagged retries exhausted (or the breaker tripped under
+    /// it): leave for another replica at `at`.
+    FailoverCorrupt { at: u64 },
+    /// The replica's scheduled outage landed mid-episode: leave at the
+    /// crash instant.
+    FailoverCrash { at: u64 },
+}
+
+/// One episode's outputs, applied to counters by the caller.
+struct Episode {
+    end: EpisodeEnd,
+    attempts: u32,
+    flagged: u32,
+    bits: u64,
+    /// A forward pass was actually cancelled by the crash boundary.
+    crash_interrupted: bool,
+}
+
+/// Run one service episode of `job` on `r` starting at `start_us`.
+///
+/// The episode retries flagged primary attempts locally (with seeded
+/// backoff) up to the replica's retry budget, feeds every completed
+/// primary outcome to the replica's breaker, and ends in one of the
+/// four [`EpisodeEnd`]s. All time arithmetic is capped by both the
+/// request deadline and the replica's next scheduled outage, so the
+/// returned end time never lands inside a crash window.
+fn run_episode(r: &Replica, job: &Job, start_us: u64, can_failover: bool, seed: u64) -> Episode {
+    let per_block = r.spec.per_block_us.max(1);
+    let max_local = r.spec.retry.max_attempts.max(1);
+    let crash_at = r.spec.crashes.next_down_after(start_us.saturating_sub(1));
+    let deadline = job.freq.req.deadline_us;
+    let mut backoff = Backoff::new(
+        r.spec.retry,
+        cell_seed(seed, job.freq.req.id as usize, r.id, job.failovers as usize),
+    );
+    let mut t = start_us;
+    let mut attempts = 0u32;
+    let mut flagged_local = 0u32;
+    let mut bits = 0u64;
+    let mut force_degraded = false;
+    let done = |end, attempts, flagged_local, bits, ci| Episode {
+        end,
+        attempts,
+        flagged: flagged_local,
+        bits,
+        crash_interrupted: ci,
+    };
+    loop {
+        if let Some(c) = crash_at {
+            if t >= c {
+                // Backoff (or pickup) straddled the outage: the request
+                // was on this replica when it died.
+                return done(EpisodeEnd::FailoverCrash { at: c }, attempts, flagged_local, bits, false);
+            }
+        }
+        if job.attempts + attempts >= ATTEMPT_HARD_CAP {
+            return done(EpisodeEnd::Miss { at: t }, attempts, flagged_local, bits, false);
+        }
+        let deadline_blocks = if deadline == Request::NO_DEADLINE {
+            u64::MAX
+        } else if t >= deadline {
+            return done(EpisodeEnd::Miss { at: t }, attempts, flagged_local, bits, false);
+        } else {
+            (deadline - t) / per_block
+        };
+        if deadline_blocks == 0 {
+            return done(EpisodeEnd::Miss { at: t }, attempts, flagged_local, bits, false);
+        }
+        let crash_blocks = crash_at.map(|c| (c - t) / per_block).unwrap_or(u64::MAX);
+        if crash_blocks == 0 {
+            // Not even one block fits before the outage.
+            let c = crash_at.unwrap_or(t);
+            return done(EpisodeEnd::FailoverCrash { at: c }, attempts, flagged_local, bits, false);
+        }
+        let budget = deadline_blocks.min(crash_blocks);
+        let primary = !force_degraded
+            && r.breaker.borrow().state() != BreakerState::Open
+            && flagged_local < max_local;
+        let a = r
+            .engine()
+            .attempt(&job.freq.req, job.attempts + attempts, primary, budget);
+        attempts += 1;
+        bits += a.bits_flipped;
+        t += a.blocks * per_block;
+        if primary && a.completed {
+            r.breaker.borrow_mut().on_primary_outcome(&a.health, t);
+        }
+        if !a.completed {
+            if crash_blocks < deadline_blocks {
+                // The crash boundary, not the deadline, cut this pass.
+                let c = crash_at.unwrap_or(t);
+                return done(EpisodeEnd::FailoverCrash { at: c }, attempts, flagged_local, bits, true);
+            }
+            return done(EpisodeEnd::Miss { at: t }, attempts, flagged_local, bits, false);
+        }
+        if HealthWindow::is_unhealthy(&a.health) {
+            // Flagged: this output never leaves the fleet.
+            flagged_local += 1;
+            let tripped = r.breaker.borrow().state() == BreakerState::Open;
+            if flagged_local >= max_local || tripped {
+                if can_failover {
+                    return done(
+                        EpisodeEnd::FailoverCorrupt { at: t },
+                        attempts,
+                        flagged_local,
+                        bits,
+                        false,
+                    );
+                }
+                // Nowhere to go: finish here on the degraded path.
+                force_degraded = true;
+            }
+            t += backoff.next_delay_us();
+            continue;
+        }
+        return done(
+            EpisodeEnd::Served {
+                primary,
+                label: a.label,
+                at: t,
+            },
+            attempts,
+            flagged_local,
+            bits,
+            false,
+        );
+    }
+}
+
+/// Mutable run accumulators, turned into the [`FleetReport`] at the end.
+#[derive(Default)]
+struct Acc {
+    served_primary: u64,
+    served_degraded: u64,
+    shed_queue_full: u64,
+    shed_quota: u64,
+    shed_no_replica: u64,
+    deadline_miss: u64,
+    failovers: u64,
+    crash_failovers: u64,
+    hedges: u64,
+    requeued_on_crash: u64,
+    flagged_attempts: u64,
+    bits_flipped: u64,
+    latency: LogHist,
+    queue_wait: LogHist,
+    end_us: u64,
+    dispatches: Vec<Dispatch>,
+    responses: Vec<FleetResponse>,
+}
+
+/// The fleet: replicas, router, tenant book, snapshot store, and the
+/// event loop state. Build one with [`Fleet::new`], run it once with
+/// [`Fleet::run`].
+pub struct Fleet {
+    cfg: FleetConfig,
+    replicas: Vec<Replica>,
+    queues: Vec<VecDeque<Job>>,
+    busy: Vec<usize>,
+    router: Router,
+    book: TenantBook,
+    store: Box<dyn SnapStore>,
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+    acc: Acc,
+}
+
+impl Fleet {
+    /// Build a fleet serving `model` on every replica in `cfg`.
+    ///
+    /// `faults` pairs with the replica list by index; missing entries
+    /// get [`NoFaults`] (healthy hardware). `store` is where replicas
+    /// persist and recover their health snapshots.
+    pub fn new(
+        model: &Model,
+        cfg: FleetConfig,
+        faults: Vec<Box<dyn FaultSource + Send + Sync>>,
+        store: Box<dyn SnapStore>,
+    ) -> Self {
+        let cfg = cfg.normalized();
+        let mut faults = faults;
+        while faults.len() < cfg.replicas.len() {
+            faults.push(Box::new(NoFaults));
+        }
+        faults.truncate(cfg.replicas.len());
+        let mut replicas = Vec::with_capacity(cfg.replicas.len());
+        for (id, (spec, fault)) in cfg.replicas.iter().cloned().zip(faults).enumerate() {
+            replicas.push(Replica::new(id, model.clone(), spec, fault, cfg.retry_seed));
+        }
+        let n = replicas.len();
+        Self {
+            router: Router::new(cfg.policy),
+            book: TenantBook::new(cfg.tenant_quota),
+            queues: vec![VecDeque::new(); n],
+            busy: vec![0; n],
+            replicas,
+            store,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            acc: Acc::default(),
+            cfg,
+        }
+    }
+
+    fn push_ev(&mut self, at: u64, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, ev });
+    }
+
+    /// Count one Open-cooldown notch on every up-but-Open replica: the
+    /// fleet equivalent of qt-serve's request-denominated cooldown. An
+    /// Open replica receives no traffic, so its recovery clock is the
+    /// demand it *would have seen* — one notch per routing decision.
+    fn tick_open_breakers(&mut self, now: u64) {
+        for r in &mut self.replicas {
+            if r.is_up(now) && r.breaker_state() == BreakerState::Open {
+                r.breaker.get_mut().tick_open(now);
+            }
+        }
+    }
+
+    fn views(&self, now: u64) -> Vec<ReplicaView> {
+        self.replicas
+            .iter()
+            .map(|r| ReplicaView {
+                id: r.id,
+                up: r.is_up(now),
+                breaker: r.breaker_state(),
+                queued: self.queues[r.id].len(),
+                in_service: self.busy[r.id],
+                queue_cap: r.spec.queue_cap,
+                full_pass_us: r.full_pass_us(),
+            })
+            .collect()
+    }
+
+    /// Which shed outcome honestly describes "the router found nothing":
+    /// if some replica was healthy but full, admission capacity was the
+    /// binding constraint; otherwise there was no healthy replica at all.
+    fn shed_kind(views: &[ReplicaView], excluded: &[usize]) -> FleetOutcome {
+        let healthy_but_full = views.iter().any(|v| {
+            v.up && v.breaker != BreakerState::Open && !excluded.contains(&v.id) && !v.has_room()
+        });
+        if healthy_but_full {
+            FleetOutcome::ShedQueueFull
+        } else {
+            FleetOutcome::ShedNoReplica
+        }
+    }
+
+    fn respond(&mut self, job: &Job, outcome: FleetOutcome, replica: Option<usize>, label: Option<usize>, finish_us: u64) {
+        match outcome {
+            FleetOutcome::ServedPrimary => self.acc.served_primary += 1,
+            FleetOutcome::ServedDegraded => self.acc.served_degraded += 1,
+            FleetOutcome::ShedQueueFull => self.acc.shed_queue_full += 1,
+            FleetOutcome::ShedQuota => self.acc.shed_quota += 1,
+            FleetOutcome::ShedNoReplica => self.acc.shed_no_replica += 1,
+            FleetOutcome::DeadlineMiss => self.acc.deadline_miss += 1,
+        }
+        let latency_us = if outcome.is_shed() {
+            0
+        } else {
+            finish_us.saturating_sub(job.freq.req.arrival_us)
+        };
+        if !outcome.is_shed() {
+            self.acc.latency.observe(latency_us as f32);
+        }
+        self.acc.end_us = self.acc.end_us.max(finish_us);
+        self.acc.responses.push(FleetResponse {
+            id: job.freq.req.id,
+            user: job.freq.user,
+            tenant: job.freq.tenant,
+            outcome,
+            label,
+            replica,
+            attempts: job.attempts,
+            flagged: job.flagged,
+            failovers: job.failovers,
+            hedged: job.hedged,
+            finish_us,
+            latency_us,
+        });
+    }
+
+    /// Route `job` at `now` (logging the decision) and either start
+    /// service or enqueue it; on no eligible replica, shed. Returns
+    /// `true` when the job found a replica.
+    fn dispatch_or_shed(&mut self, job: Job, now: u64, cause: DispatchCause) -> bool {
+        self.tick_open_breakers(now);
+        let views = self.views(now);
+        match self.router.pick(&views, &job.excluded) {
+            Some(target) => {
+                self.acc.dispatches.push(Dispatch {
+                    req_id: job.freq.req.id,
+                    at_us: now,
+                    replica: target,
+                    breaker: views[target].breaker,
+                    cause,
+                    excluded: job.excluded.clone(),
+                });
+                self.place(target, job, now);
+                true
+            }
+            None => {
+                let kind = Self::shed_kind(&views, &job.excluded);
+                self.book.release(job.freq.tenant);
+                self.respond(&job, kind, None, None, now);
+                false
+            }
+        }
+    }
+
+    /// Hand `job` to `target`: start service if a worker is idle and no
+    /// one is ahead of it, else queue it (the router only returns
+    /// replicas with room) and drain.
+    fn place(&mut self, target: usize, job: Job, now: u64) {
+        if self.busy[target] < self.replicas[target].spec.workers
+            && self.queues[target].is_empty()
+        {
+            self.start_service(target, job, now);
+        } else {
+            self.queues[target].push_back(job);
+            let depth = self.queues[target].len() as u64;
+            let stats = &mut self.replicas[target].stats;
+            stats.max_queue_depth = stats.max_queue_depth.max(depth);
+            self.kick(target, now);
+        }
+    }
+
+    /// Start queued work on every idle worker of `r`. A hedge can move a
+    /// popped job to another replica *without* occupying the local
+    /// worker, so one freed worker may drain several queue entries —
+    /// hence a loop, not a single pop.
+    fn kick(&mut self, r: usize, now: u64) {
+        while self.busy[r] < self.replicas[r].spec.workers && self.replicas[r].is_up(now) {
+            match self.queues[r].pop_front() {
+                Some(job) => self.start_service(r, job, now),
+                None => break,
+            }
+        }
+    }
+
+    /// Begin (or hedge away) one service episode on `r` at `now`.
+    fn start_service(&mut self, r: usize, mut job: Job, now: u64) {
+        let deadline = job.freq.req.deadline_us;
+        // Hedge: the remaining budget cannot fit a pass here, but fits on
+        // another eligible replica — re-route instead of burning the
+        // budget on a doomed attempt.
+        if self.cfg.hedge
+            && deadline != Request::NO_DEADLINE
+            && now + self.replicas[r].full_pass_us() > deadline
+        {
+            let mut views = self.views(now);
+            for v in views.iter_mut() {
+                // A hedge target must actually fit the remaining budget;
+                // everything else (and the doomed home) drops out. A
+                // fitting target never re-hedges at this instant, so
+                // hedges cannot ping-pong.
+                if v.id == r || now + v.full_pass_us > deadline {
+                    v.up = false;
+                }
+            }
+            if let Some(target) = self.router.pick(&views, &job.excluded) {
+                self.acc.hedges += 1;
+                job.hedged = true;
+                self.acc.dispatches.push(Dispatch {
+                    req_id: job.freq.req.id,
+                    at_us: now,
+                    replica: target,
+                    breaker: views[target].breaker,
+                    cause: DispatchCause::Hedge,
+                    excluded: job.excluded.clone(),
+                });
+                self.place(target, job, now);
+                return;
+            }
+        }
+        self.busy[r] += 1;
+        if !job.waited {
+            job.waited = true;
+            self.acc
+                .queue_wait
+                .observe(now.saturating_sub(job.freq.req.arrival_us) as f32);
+        }
+        let can_failover = self.replicas.len() > 1 && job.failovers < self.cfg.max_failovers;
+        let ep = run_episode(&self.replicas[r], &job, now, can_failover, self.cfg.retry_seed);
+        job.attempts += ep.attempts;
+        job.flagged += ep.flagged;
+        self.acc.flagged_attempts += ep.flagged as u64;
+        self.acc.bits_flipped += ep.bits;
+        {
+            let stats = &mut self.replicas[r].stats;
+            stats.flagged_attempts += ep.flagged as u64;
+            stats.bits_flipped += ep.bits;
+            if ep.crash_interrupted {
+                stats.crash_interrupted += 1;
+            }
+        }
+        match ep.end {
+            EpisodeEnd::Served { primary, label, at } => {
+                {
+                    let recovered = self.replicas[r].last_recovery_us.is_some();
+                    let stats = &mut self.replicas[r].stats;
+                    if primary {
+                        stats.served_primary += 1;
+                    } else {
+                        stats.served_degraded += 1;
+                    }
+                    if recovered {
+                        stats.served_after_recovery += 1;
+                    }
+                }
+                let outcome = if primary {
+                    FleetOutcome::ServedPrimary
+                } else {
+                    FleetOutcome::ServedDegraded
+                };
+                let tenant = job.freq.tenant;
+                self.respond(&job, outcome, Some(r), label, at);
+                self.push_ev(at, Ev::Done(r, Some(tenant)));
+            }
+            EpisodeEnd::Miss { at } => {
+                let tenant = job.freq.tenant;
+                self.respond(&job, FleetOutcome::DeadlineMiss, Some(r), None, at);
+                self.push_ev(at, Ev::Done(r, Some(tenant)));
+            }
+            EpisodeEnd::FailoverCorrupt { at } => {
+                job.excluded.push(r);
+                job.failovers += 1;
+                self.acc.failovers += 1;
+                // The worker frees when the request leaves.
+                self.push_ev(at, Ev::Done(r, None));
+                self.push_ev(at, Ev::Failover(Box::new(job), DispatchCause::FailoverCorrupt));
+            }
+            EpisodeEnd::FailoverCrash { at } => {
+                job.excluded.push(r);
+                job.failovers += 1;
+                self.acc.failovers += 1;
+                self.acc.crash_failovers += 1;
+                // No Done: this worker dies with the replica; the crash
+                // lifecycle event resets the whole replica's busy count.
+                self.push_ev(at, Ev::Failover(Box::new(job), DispatchCause::FailoverCrash));
+            }
+        }
+    }
+
+    /// Run the fleet over `requests` (sorted by arrival). Consumes the
+    /// fleet: one run per construction, so no state leaks between runs.
+    pub fn run(mut self, requests: &[FleetRequest], trace: Option<&TraceHandle>) -> FleetReport {
+        let span = trace.map(|t| t.borrow_mut().begin("fleet.sim", "fleet"));
+        let last_arrival = requests.last().map(|r| r.req.arrival_us).unwrap_or(0);
+        for fr in requests {
+            self.push_ev(fr.req.arrival_us, Ev::Arrival(Box::new(fr.clone())));
+        }
+        for id in 0..self.replicas.len() {
+            for w in self.replicas[id].spec.crashes.windows().to_vec() {
+                self.push_ev(w.down_at_us, Ev::Lifecycle(id, LifecycleEvent::Crash));
+                if w.up_at_us < u64::MAX {
+                    self.push_ev(w.up_at_us, Ev::Lifecycle(id, LifecycleEvent::Recover));
+                }
+            }
+        }
+        if self.cfg.snapshot_every_us > 0 {
+            self.push_ev(self.cfg.snapshot_every_us, Ev::SnapshotTick);
+        }
+
+        while let Some(Entry { at: now, ev, .. }) = self.heap.pop() {
+            self.acc.end_us = self.acc.end_us.max(now);
+            match ev {
+                Ev::Arrival(freq) => {
+                    if !self.book.admit(freq.tenant) {
+                        let job = Job::new(*freq);
+                        self.respond(&job, FleetOutcome::ShedQuota, None, None, now);
+                        continue;
+                    }
+                    self.dispatch_or_shed(Job::new(*freq), now, DispatchCause::Fresh);
+                }
+                Ev::Done(r, tenant) => {
+                    if let Some(t) = tenant {
+                        self.book.release(t);
+                    }
+                    self.busy[r] = self.busy[r].saturating_sub(1);
+                    // At the exact crash instant the replica is already
+                    // down; `kick` notices and the lifecycle event drains
+                    // the queue instead.
+                    self.kick(r, now);
+                }
+                Ev::Failover(job, cause) => {
+                    self.dispatch_or_shed(*job, now, cause);
+                }
+                Ev::Lifecycle(r, LifecycleEvent::Crash) => {
+                    self.replicas[r].stats.crashes += 1;
+                    self.busy[r] = 0;
+                    let drained: Vec<Job> = self.queues[r].drain(..).collect();
+                    if let Some(t) = trace {
+                        t.borrow_mut().instant(
+                            "fleet.crash",
+                            "fleet",
+                            vec![
+                                ("replica".to_string(), r as f64),
+                                ("at_us".to_string(), now as f64),
+                                ("requeued".to_string(), drained.len() as f64),
+                            ],
+                        );
+                    }
+                    for mut job in drained {
+                        job.excluded.push(r);
+                        if self.dispatch_or_shed(job, now, DispatchCause::Requeue) {
+                            self.acc.requeued_on_crash += 1;
+                        }
+                    }
+                }
+                Ev::Lifecycle(r, LifecycleEvent::Recover) => {
+                    let loaded = self.store.load(r);
+                    let corrupt = matches!(
+                        &loaded,
+                        Err(qt_serve::SnapshotError::Corrupt(_))
+                    );
+                    self.replicas[r].recover(loaded, now);
+                    if let Some(t) = trace {
+                        let mut s = t.borrow_mut();
+                        s.instant(
+                            "fleet.recover",
+                            "fleet",
+                            vec![
+                                ("replica".to_string(), r as f64),
+                                ("at_us".to_string(), now as f64),
+                                ("snapshot_corrupt".to_string(), corrupt as u8 as f64),
+                            ],
+                        );
+                        if corrupt {
+                            s.metrics_mut().counter_add("fleet.snapshot_corrupt", &[], 1);
+                        }
+                    }
+                }
+                Ev::SnapshotTick => {
+                    for id in 0..self.replicas.len() {
+                        if self.replicas[id].is_up(now) {
+                            let snap = self.replicas[id].snapshot();
+                            if self.store.save(id, &snap).is_ok() {
+                                self.replicas[id].stats.snapshot_saves += 1;
+                            }
+                        }
+                    }
+                    let next = now + self.cfg.snapshot_every_us;
+                    if now < last_arrival {
+                        self.push_ev(next, Ev::SnapshotTick);
+                    }
+                }
+            }
+        }
+
+        let mut acc = std::mem::take(&mut self.acc);
+        acc.responses.sort_by_key(|r| r.id);
+        let replicas: Vec<ReplicaReport> = self
+            .replicas
+            .iter()
+            .map(|r| ReplicaReport {
+                id: r.id,
+                format: r.spec.format.name().to_string(),
+                per_block_us: r.spec.per_block_us,
+                stats: r.stats,
+                breaker_trips: r.breaker.borrow().trips(),
+                final_breaker: r.breaker_state(),
+            })
+            .collect();
+        let report = FleetReport {
+            policy: self.cfg.policy.name().to_string(),
+            offered: requests.len() as u64,
+            served_primary: acc.served_primary,
+            served_degraded: acc.served_degraded,
+            shed_queue_full: acc.shed_queue_full,
+            shed_quota: acc.shed_quota,
+            shed_no_replica: acc.shed_no_replica,
+            deadline_miss: acc.deadline_miss,
+            failovers: acc.failovers,
+            crash_failovers: acc.crash_failovers,
+            hedges: acc.hedges,
+            requeued_on_crash: acc.requeued_on_crash,
+            flagged_attempts: acc.flagged_attempts,
+            bits_flipped: acc.bits_flipped,
+            tenant_denials: self.book.denials().collect(),
+            latency: acc.latency,
+            queue_wait: acc.queue_wait,
+            replicas,
+            end_us: acc.end_us,
+            dispatches: acc.dispatches,
+            responses: acc.responses,
+        };
+
+        if let Some(t) = trace {
+            let mut s = t.borrow_mut();
+            let m = s.metrics_mut();
+            m.counter_add("fleet.offered", &[], report.offered);
+            m.counter_add("fleet.served_primary", &[], report.served_primary);
+            m.counter_add("fleet.served_degraded", &[], report.served_degraded);
+            m.counter_add("fleet.shed_queue_full", &[], report.shed_queue_full);
+            m.counter_add("fleet.shed_quota", &[], report.shed_quota);
+            m.counter_add("fleet.shed_no_replica", &[], report.shed_no_replica);
+            m.counter_add("fleet.deadline_miss", &[], report.deadline_miss);
+            m.counter_add("fleet.failovers", &[], report.failovers);
+            m.counter_add("fleet.hedges", &[], report.hedges);
+            m.counter_add("fleet.requeued_on_crash", &[], report.requeued_on_crash);
+            for r in &report.responses {
+                if !r.outcome.is_shed() {
+                    m.observe("fleet.latency_us", &[], r.latency_us as f32);
+                }
+            }
+            if let Some(span) = span {
+                s.end(span);
+            }
+        }
+        report
+    }
+}
+
+/// Convenience one-shot: build a [`Fleet`] and run it.
+pub fn run_fleet(
+    model: &Model,
+    cfg: &FleetConfig,
+    requests: &[FleetRequest],
+    faults: Vec<Box<dyn FaultSource + Send + Sync>>,
+    store: Box<dyn SnapStore>,
+    trace: Option<&TraceHandle>,
+) -> FleetReport {
+    Fleet::new(model, cfg.clone(), faults, store).run(requests, trace)
+}
+
+/// Replay audit: re-execute the *final* attempt of every served-primary
+/// response against a fresh copy of its replica's engine and fault
+/// environment, and count responses whose replayed pass is unhealthy.
+///
+/// Fault draws are keyed by `(request id, attempt index)` alone, so the
+/// replay reproduces exactly the weights the serving attempt saw. A
+/// served-primary response whose replay trips the health gate would have
+/// been a silently corrupt answer — the count must be zero, and the CI
+/// smoke job asserts exactly that.
+pub fn audit_unflagged_corruption(
+    model: &Model,
+    cfg: &FleetConfig,
+    requests: &[FleetRequest],
+    faults: Vec<Box<dyn FaultSource + Send + Sync>>,
+    report: &FleetReport,
+) -> u64 {
+    let cfg = cfg.clone().normalized();
+    let mut faults = faults;
+    while faults.len() < cfg.replicas.len() {
+        faults.push(Box::new(NoFaults));
+    }
+    faults.truncate(cfg.replicas.len());
+    let replicas: Vec<Replica> = cfg
+        .replicas
+        .iter()
+        .cloned()
+        .zip(faults)
+        .enumerate()
+        .map(|(id, (spec, fault))| Replica::new(id, model.clone(), spec, fault, cfg.retry_seed))
+        .collect();
+    let by_id: std::collections::BTreeMap<u64, &FleetRequest> =
+        requests.iter().map(|r| (r.req.id, r)).collect();
+    let mut bad = 0u64;
+    for resp in &report.responses {
+        if resp.outcome != FleetOutcome::ServedPrimary || resp.attempts == 0 {
+            continue;
+        }
+        let (Some(r), Some(req)) = (resp.replica, by_id.get(&resp.id)) else {
+            continue;
+        };
+        let a = replicas[r]
+            .engine()
+            .attempt(&req.req, resp.attempts - 1, true, u64::MAX);
+        if !a.completed || HealthWindow::is_unhealthy(&a.health) {
+            bad += 1;
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplicaSpec;
+    use crate::load::{ArrivalShape, FleetLoadSpec};
+    use crate::replica::MemSnapStore;
+    use crate::router::RouterPolicy;
+    use qt_quant::ElemFormat;
+    use qt_robust::{BerFaultSource, CodeFormat, CrashSchedule};
+    use qt_transformer::{TaskHead, TransformerConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn tiny_model() -> Model {
+        let mut rng = StdRng::seed_from_u64(11);
+        Model::new(
+            TransformerConfig::mobilebert_tiny_sim(),
+            TaskHead::Classify(2),
+            &mut rng,
+        )
+    }
+
+    fn light_load(model: &Model, n_passes_apart: u64, count: usize) -> Vec<FleetRequest> {
+        let pass = model.blocks_per_forward() * ReplicaSpec::BASE_BLOCK_US;
+        FleetLoadSpec {
+            rps: 1e6 / (n_passes_apart * pass) as f64,
+            duration_us: count as u64 * n_passes_apart * pass,
+            shape: ArrivalShape::Constant,
+            deadline_us: 0,
+            ..FleetLoadSpec::default()
+        }
+        .requests(model.cfg.vocab)
+    }
+
+    #[test]
+    fn healthy_fleet_serves_everything_primary() {
+        let model = tiny_model();
+        let cfg = FleetConfig::default();
+        let reqs = light_load(&model, 3, 20);
+        let report = run_fleet(
+            &model,
+            &cfg,
+            &reqs,
+            Vec::new(),
+            Box::new(MemSnapStore::new()),
+            None,
+        );
+        assert!(report.reconciles(), "{report:?}");
+        assert_eq!(report.served_primary, report.offered);
+        assert_eq!(report.failovers, 0);
+        assert_eq!(report.hedges, 0);
+        // Every dispatch in the audit log respected the breaker gate.
+        for d in &report.dispatches {
+            assert_ne!(d.breaker, BreakerState::Open);
+        }
+    }
+
+    #[test]
+    fn crash_mid_run_fails_over_and_replica_rejoins() {
+        let model = tiny_model();
+        let pass = model.blocks_per_forward() * ReplicaSpec::BASE_BLOCK_US;
+        let mut cfg = FleetConfig {
+            replicas: vec![ReplicaSpec::new(ElemFormat::P8E1); 2],
+            snapshot_every_us: 5 * pass,
+            ..FleetConfig::default()
+        };
+        // Replica 1 dies mid-run, long enough for in-flight + queued work
+        // to fail over, and comes back while load is still arriving.
+        cfg.replicas[1] = ReplicaSpec::new(ElemFormat::P8E1)
+            .with_crashes(CrashSchedule::single(10 * pass + pass / 2, 20 * pass));
+        // Dense enough that both replicas hold work at the crash instant.
+        let reqs = FleetLoadSpec {
+            rps: 2.2 * 1e6 / pass as f64,
+            duration_us: 120 * pass,
+            shape: ArrivalShape::Constant,
+            deadline_us: 0,
+            ..FleetLoadSpec::default()
+        }
+        .requests(model.cfg.vocab);
+        let report = run_fleet(
+            &model,
+            &cfg,
+            &reqs,
+            Vec::new(),
+            Box::new(MemSnapStore::new()),
+            None,
+        );
+        assert!(report.reconciles(), "{report:?}");
+        assert!(report.crash_failovers >= 1, "in-flight work failed over");
+        let r1 = &report.replicas[1];
+        assert_eq!(r1.stats.crashes, 1);
+        assert_eq!(r1.stats.recoveries, 1);
+        assert!(r1.stats.snapshot_saves > 0, "snapshots written before death");
+        assert_eq!(r1.stats.snapshot_resumes, 1, "recovered from its snapshot");
+        assert!(
+            r1.stats.served_after_recovery > 0,
+            "replica re-earned traffic after rejoining: {r1:?}"
+        );
+        // The failed-over requests never went back to the dead replica.
+        for d in &report.dispatches {
+            if d.cause.is_failover() || d.cause == DispatchCause::Requeue {
+                assert!(!d.excluded.contains(&d.replica));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupting_replica_fails_over_to_healthy_one() {
+        let model = tiny_model();
+        let cfg = FleetConfig {
+            replicas: vec![ReplicaSpec::new(ElemFormat::P8E1); 2],
+            ..FleetConfig::default()
+        };
+        // Replica 0: essentially every primary read flagged. Replica 1:
+        // healthy.
+        let codec = CodeFormat::new(ElemFormat::P8E1).unwrap();
+        let faults: Vec<Box<dyn FaultSource + Send + Sync>> =
+            vec![Box::new(BerFaultSource::new(5, codec, 0.05)), Box::new(NoFaults)];
+        let reqs = light_load(&model, 4, 16);
+        let report = run_fleet(
+            &model,
+            &cfg,
+            &reqs,
+            faults,
+            Box::new(MemSnapStore::new()),
+            None,
+        );
+        assert!(report.reconciles(), "{report:?}");
+        assert!(report.failovers >= 1, "corrupt replica pushed work away");
+        assert_eq!(
+            report.served_primary + report.served_degraded,
+            report.offered,
+            "everything still served: {report:?}"
+        );
+        // A served response with flagged attempts must have ended on a
+        // clean path — the flagged output itself never leaves the fleet.
+        for r in &report.responses {
+            if r.outcome.is_served() {
+                assert!(r.label.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_quota_sheds_only_the_bursting_tenant() {
+        let model = tiny_model();
+        let pass = model.blocks_per_forward() * ReplicaSpec::BASE_BLOCK_US;
+        let cfg = FleetConfig {
+            replicas: vec![ReplicaSpec::new(ElemFormat::P8E1)],
+            tenants: 2,
+            tenant_quota: 2,
+            ..FleetConfig::default()
+        };
+        // Hand-built burst: tenant 0 fires 6 requests at t=0, tenant 1
+        // sends one comfortably later.
+        let mut reqs: Vec<FleetRequest> = (0..6)
+            .map(|i| FleetRequest {
+                req: Request::new(i, vec![1, 2, 3, 4]),
+                user: 2 * i,
+                tenant: 0,
+            })
+            .collect();
+        reqs.push(FleetRequest {
+            req: Request::new(6, vec![1, 2, 3, 4]).with_arrival(40 * pass),
+            user: 1,
+            tenant: 1,
+        });
+        let report = run_fleet(
+            &model,
+            &cfg,
+            &reqs,
+            Vec::new(),
+            Box::new(MemSnapStore::new()),
+            None,
+        );
+        assert!(report.reconciles(), "{report:?}");
+        assert_eq!(report.shed_quota, 4, "6 offered, 2 outstanding allowed");
+        assert_eq!(report.tenant_denials, vec![(0, 4)]);
+        let t1: Vec<_> = report.responses.iter().filter(|r| r.tenant == 1).collect();
+        assert_eq!(t1.len(), 1);
+        assert!(t1[0].outcome.is_served(), "tenant 1 unaffected");
+    }
+
+    #[test]
+    fn fleet_run_replays_byte_identically() {
+        let model = tiny_model();
+        let pass = model.blocks_per_forward() * ReplicaSpec::BASE_BLOCK_US;
+        let mut cfg = FleetConfig {
+            replicas: vec![
+                ReplicaSpec::new(ElemFormat::P8E1),
+                ReplicaSpec::new(ElemFormat::E4M3),
+                ReplicaSpec::new(ElemFormat::Bf16),
+            ],
+            policy: RouterPolicy::HealthAware,
+            tenant_quota: 8,
+            snapshot_every_us: 7 * pass,
+            ..FleetConfig::default()
+        };
+        cfg.replicas[0] = cfg.replicas[0]
+            .clone()
+            .with_crashes(CrashSchedule::single(9 * pass, 11 * pass));
+        let reqs = FleetLoadSpec {
+            rps: 2.0 * 1e6 / pass as f64,
+            duration_us: 60 * pass,
+            shape: ArrivalShape::Bursty {
+                burst_len_us: 5 * pass,
+                burst_mult: 3.0,
+            },
+            period_us: 20 * pass,
+            deadline_us: 8 * pass,
+            ..FleetLoadSpec::default()
+        }
+        .requests(model.cfg.vocab);
+        let mk = || {
+            let codec = CodeFormat::new(ElemFormat::P8E1).unwrap();
+            let faults: Vec<Box<dyn FaultSource + Send + Sync>> =
+                vec![Box::new(BerFaultSource::new(9, codec, 2e-3))];
+            run_fleet(
+                &model,
+                &cfg,
+                &reqs,
+                faults,
+                Box::new(MemSnapStore::new()),
+                None,
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string(&a.to_json()).unwrap(),
+            serde_json::to_string(&b.to_json()).unwrap()
+        );
+        assert!(a.reconciles(), "{a:?}");
+    }
+}

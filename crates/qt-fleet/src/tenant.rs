@@ -1,0 +1,112 @@
+//! Per-tenant admission quotas.
+//!
+//! A fleet shared by many tenants needs admission-side fairness: one
+//! tenant's burst must shed *its own* overflow instead of filling every
+//! replica queue and starving everyone else. The book tracks outstanding
+//! (admitted but not yet finished) requests per tenant and enforces a
+//! flat cap; 0 disables the cap entirely.
+
+use std::collections::BTreeMap;
+
+/// Outstanding-request accounting per tenant.
+#[derive(Debug, Clone, Default)]
+pub struct TenantBook {
+    /// Max outstanding per tenant (0 = unlimited).
+    quota: u64,
+    outstanding: BTreeMap<u32, u64>,
+    /// Admissions denied by quota, per tenant (kept for the report).
+    denied: BTreeMap<u32, u64>,
+}
+
+impl TenantBook {
+    /// A book enforcing `quota` outstanding requests per tenant.
+    pub fn new(quota: u64) -> Self {
+        Self {
+            quota,
+            ..Self::default()
+        }
+    }
+
+    /// The quota in force (0 = unlimited).
+    pub fn quota(&self) -> u64 {
+        self.quota
+    }
+
+    /// Try to admit one request for `tenant`: `true` increments the
+    /// tenant's outstanding count, `false` records a quota denial.
+    pub fn admit(&mut self, tenant: u32) -> bool {
+        let n = self.outstanding.entry(tenant).or_insert(0);
+        if self.quota > 0 && *n >= self.quota {
+            *self.denied.entry(tenant).or_insert(0) += 1;
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    /// One of `tenant`'s admitted requests finished (served, missed, or
+    /// requeue-shed) — release its slot.
+    pub fn release(&mut self, tenant: u32) {
+        if let Some(n) = self.outstanding.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// Outstanding requests for `tenant` right now.
+    pub fn outstanding(&self, tenant: u32) -> u64 {
+        self.outstanding.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Quota denials for `tenant`.
+    pub fn denied(&self, tenant: u32) -> u64 {
+        self.denied.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Total quota denials across tenants.
+    pub fn total_denied(&self) -> u64 {
+        self.denied.values().sum()
+    }
+
+    /// (tenant, denials) pairs in tenant order — deterministic for JSON.
+    pub fn denials(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.denied.iter().map(|(&t, &n)| (t, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_denies_only_the_bursting_tenant() {
+        let mut book = TenantBook::new(2);
+        assert!(book.admit(0));
+        assert!(book.admit(0));
+        assert!(!book.admit(0), "tenant 0 at quota");
+        assert!(book.admit(1), "tenant 1 unaffected");
+        assert_eq!(book.outstanding(0), 2);
+        assert_eq!(book.denied(0), 1);
+        assert_eq!(book.denied(1), 0);
+        book.release(0);
+        assert!(book.admit(0), "slot freed on completion");
+        assert_eq!(book.total_denied(), 1);
+    }
+
+    #[test]
+    fn zero_quota_is_unlimited() {
+        let mut book = TenantBook::new(0);
+        for _ in 0..1000 {
+            assert!(book.admit(7));
+        }
+        assert_eq!(book.outstanding(7), 1000);
+        assert_eq!(book.total_denied(), 0);
+    }
+
+    #[test]
+    fn release_without_admit_saturates() {
+        let mut book = TenantBook::new(1);
+        book.release(3);
+        assert_eq!(book.outstanding(3), 0);
+        assert!(book.admit(3));
+    }
+}

@@ -7,6 +7,7 @@
 pub mod campaign;
 pub mod ckpt_campaign;
 pub mod inject;
+pub mod lifecycle;
 pub mod runtime;
 
 pub use campaign::{
@@ -17,4 +18,5 @@ pub use ckpt_campaign::{
     checkpoint_state_for, run_ckpt_campaign, CkptCampaignCell, CkptCampaignConfig,
 };
 pub use inject::{BitFlipInjector, CodeFormat, InjectionReport};
+pub use lifecycle::{CrashSchedule, CrashWindow, LifecycleEvent};
 pub use runtime::{BerFaultSource, BurstFaultSource, FaultSource, NoFaults};

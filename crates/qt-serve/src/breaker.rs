@@ -128,6 +128,17 @@ impl CircuitBreaker {
         }
     }
 
+    /// Closed breaker that remembers `trips` prior trips — for resuming
+    /// a node whose trip history was recovered from a durable
+    /// [`crate::HealthSnapshot`], so monitoring counters stay continuous
+    /// across a crash/restart.
+    pub fn with_initial_trips(policy: BreakerPolicy, trips: u64) -> Self {
+        Self {
+            trips,
+            ..Self::new(policy)
+        }
+    }
+
     /// Current state.
     pub fn state(&self) -> BreakerState {
         self.state
@@ -201,6 +212,39 @@ impl CircuitBreaker {
             }
             BreakerState::Open => {}
         }
+    }
+
+    /// Force the breaker Open with a full cooldown, regardless of window
+    /// state — the replica-lifecycle hook. A node that crashed and came
+    /// back must not be trusted with primary traffic on the strength of
+    /// pre-crash health: it re-earns service through the same cooldown →
+    /// HalfOpen → probe path as a fault trip. Counts as a trip (any
+    /// entry into Open does). No-op when already Open.
+    pub fn force_open(&mut self, now_us: u64) {
+        if self.state != BreakerState::Open {
+            self.trip(now_us);
+        }
+    }
+
+    /// Advance the Open cooldown by one notch *without* routing a
+    /// request, transitioning to HalfOpen when it expires.
+    ///
+    /// [`CircuitBreaker::route`] counts the cooldown down as requests
+    /// arrive, which is right when the breaker itself is the router. In
+    /// a fleet, an Open replica receives *no* traffic at all — so the
+    /// fleet's router calls this once per routing decision in which the
+    /// replica was considered and skipped, keeping recovery denominated
+    /// in observed demand (deterministic) rather than wall time.
+    /// Returns the state after the tick.
+    pub fn tick_open(&mut self, now_us: u64) -> BreakerState {
+        if self.state == BreakerState::Open {
+            self.cooldown_left = self.cooldown_left.saturating_sub(1);
+            if self.cooldown_left == 0 {
+                self.probes_ok = 0;
+                self.transition(now_us, BreakerState::HalfOpen);
+            }
+        }
+        self.state
     }
 
     fn trip(&mut self, now_us: u64) {
@@ -296,6 +340,26 @@ mod tests {
         b.on_primary_outcome(&bad(), 11);
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn force_open_then_tick_reaches_halfopen_and_probes_close() {
+        let mut b = CircuitBreaker::with_initial_trips(policy(), 5);
+        assert_eq!(b.trips(), 5, "resumed trip history");
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.force_open(100);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 6, "forcing open counts as a trip");
+        b.force_open(101);
+        assert_eq!(b.trips(), 6, "idempotent while already open");
+        // cooldown_requests = 3: two ticks stay Open, the third probes.
+        assert_eq!(b.tick_open(102), BreakerState::Open);
+        assert_eq!(b.tick_open(103), BreakerState::Open);
+        assert_eq!(b.tick_open(104), BreakerState::HalfOpen);
+        assert_eq!(b.tick_open(105), BreakerState::HalfOpen, "tick is Open-only");
+        b.on_primary_outcome(&clean(), 106);
+        b.on_primary_outcome(&clean(), 107);
+        assert_eq!(b.state(), BreakerState::Closed, "probes re-earn service");
     }
 
     #[test]

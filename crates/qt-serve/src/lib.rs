@@ -47,4 +47,4 @@ pub use request::{OutcomeKind, Request, Response};
 pub use retry::{Backoff, RetryPolicy};
 pub use server::{Server, ServerStats};
 pub use sim::{run_sim, LoadSpec, ServeReport};
-pub use snapshot::{HealthSnapshot, SNAPSHOT_SCHEMA};
+pub use snapshot::{HealthSnapshot, SnapshotError, SNAPSHOT_SCHEMA};

@@ -9,7 +9,7 @@
 //! until work arrives or the queue is closed.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Why an offered item was not admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +45,17 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
+    /// Take the queue lock, recovering from poison. A worker that panics
+    /// while holding this lock poisons it for every *other* worker and
+    /// producer; every critical section here either completes its
+    /// mutation or leaves the deque untouched, so the state behind a
+    /// poisoned lock is still coherent — recovering keeps the rest of
+    /// the fleet serving instead of cascading one panic into a total
+    /// outage.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Queue admitting at most `capacity` waiting items (minimum 1).
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
@@ -68,7 +79,7 @@ impl<T> BoundedQueue<T> {
     /// the item comes back with the reason so the caller can account for
     /// the shed.
     pub fn try_push(&self, item: T) -> Result<(), (T, Rejected)> {
-        let mut g = self.inner.lock().expect("queue lock poisoned");
+        let mut g = self.lock();
         if g.closed {
             return Err((item, Rejected::Closed));
         }
@@ -85,7 +96,7 @@ impl<T> BoundedQueue<T> {
     /// Take the next item, blocking until one arrives. `None` once the
     /// queue is closed *and* drained — the consumer's shutdown signal.
     pub fn pop(&self) -> Option<T> {
-        let mut g = self.inner.lock().expect("queue lock poisoned");
+        let mut g = self.lock();
         loop {
             if let Some(item) = g.items.pop_front() {
                 return Some(item);
@@ -93,20 +104,20 @@ impl<T> BoundedQueue<T> {
             if g.closed {
                 return None;
             }
-            g = self.ready.wait(g).expect("queue lock poisoned");
+            g = self.ready.wait(g).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Close the queue: producers are rejected from now on, consumers
     /// drain the backlog and then observe `None`.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.lock().closed = true;
         self.ready.notify_all();
     }
 
     /// Items currently waiting.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").items.len()
+        self.lock().items.len()
     }
 
     /// `true` when nothing is waiting.
@@ -116,7 +127,7 @@ impl<T> BoundedQueue<T> {
 
     /// High-water mark of the backlog since construction.
     pub fn max_depth(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").max_depth
+        self.lock().max_depth
     }
 }
 

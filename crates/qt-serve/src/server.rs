@@ -29,7 +29,7 @@ use crate::engine::Engine;
 use crate::queue::{BoundedQueue, Rejected};
 use crate::request::{Request, Response};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 struct Shared {
@@ -38,6 +38,24 @@ struct Shared {
     queue: BoundedQueue<Request>,
     responses: Mutex<Vec<Response>>,
     clock: AtomicU64,
+}
+
+impl Shared {
+    /// Breaker lock with poison recovery: if a worker panicked holding
+    /// it, the breaker inside is still a coherent state machine (its
+    /// methods never leave it half-updated across an unwind point), and
+    /// losing one health sample is strictly better than every remaining
+    /// worker panicking on `PoisonError` — one bad attempt must degrade,
+    /// not take down the fleet.
+    fn breaker(&self) -> MutexGuard<'_, CircuitBreaker> {
+        self.breaker.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Response-log lock, same poison-recovery rationale: `push` either
+    /// appends or doesn't, so the vec behind a poisoned lock is intact.
+    fn responses(&self) -> MutexGuard<'_, Vec<Response>> {
+        self.responses.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// A running pool of serving workers.
@@ -87,11 +105,7 @@ impl Server {
             Ok(()) => Ok(()),
             Err((req, why)) => {
                 if why == Rejected::QueueFull {
-                    self.shared
-                        .responses
-                        .lock()
-                        .unwrap()
-                        .push(Response::shed(&req));
+                    self.shared.responses().push(Response::shed(&req));
                 }
                 Err(why)
             }
@@ -110,8 +124,8 @@ impl Server {
         for w in self.workers {
             let _ = w.join();
         }
-        let breaker = self.shared.breaker.lock().unwrap();
-        let mut responses = std::mem::take(&mut *self.shared.responses.lock().unwrap());
+        let breaker = self.shared.breaker();
+        let mut responses = std::mem::take(&mut *self.shared.responses());
         responses.sort_by_key(|r| r.id);
         ServerStats {
             responses,
@@ -129,14 +143,14 @@ fn worker_loop(sh: &Shared) {
             req.arrival_us,
             |_| {
                 let t = sh.clock.fetch_add(1, Ordering::Relaxed);
-                sh.breaker.lock().unwrap().route(t)
+                sh.breaker().route(t)
             },
             |h, _| {
                 let t = sh.clock.fetch_add(1, Ordering::Relaxed);
-                sh.breaker.lock().unwrap().on_primary_outcome(h, t)
+                sh.breaker().on_primary_outcome(h, t)
             },
         );
-        sh.responses.lock().unwrap().push(out.response);
+        sh.responses().push(out.response);
     }
 }
 
@@ -198,6 +212,49 @@ mod tests {
         let mut ids: Vec<u64> = stats.responses.iter().map(|r| r.id).collect();
         ids.dedup();
         assert_eq!(ids.len() as u64, offered);
+    }
+
+    /// A worker that panics while holding the coordination locks must
+    /// not take the rest of the fleet with it: the poisoned locks are
+    /// recovered and a fresh worker keeps serving.
+    #[test]
+    fn poisoned_locks_recover_instead_of_cascading() {
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_cap: 8,
+            ..ServeConfig::default()
+        }
+        .normalized();
+        let eng = engine(&cfg);
+        let vocab = eng.model().cfg.vocab;
+        let shared = Arc::new(Shared {
+            engine: eng,
+            breaker: Mutex::new(CircuitBreaker::new(cfg.breaker)),
+            queue: BoundedQueue::new(cfg.queue_cap),
+            responses: Mutex::new(Vec::new()),
+            clock: AtomicU64::new(0),
+        });
+        // Induce the failure mode: a thread panics while holding both
+        // coordination locks, poisoning them for everyone else.
+        let sh = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _breaker = sh.breaker.lock().unwrap();
+            let _responses = sh.responses.lock().unwrap();
+            panic!("induced worker panic");
+        })
+        .join();
+        assert!(shared.breaker.lock().is_err(), "breaker lock is poisoned");
+        assert!(shared.responses.lock().is_err(), "response lock is poisoned");
+        // A fresh worker must still serve through the poisoned locks.
+        shared
+            .queue
+            .try_push(request(0, vocab))
+            .expect("queue admits");
+        shared.queue.close();
+        worker_loop(&shared);
+        let responses = shared.responses();
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].outcome.is_served());
     }
 
     #[test]

@@ -185,7 +185,7 @@ fn health_snapshot_survives_disk_round_trip() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("health.json");
     snap.save(&path).unwrap();
-    assert_eq!(HealthSnapshot::load(&path), Some(snap));
+    assert_eq!(HealthSnapshot::load(&path), Ok(snap));
     std::fs::remove_dir_all(&dir).ok();
 }
 
