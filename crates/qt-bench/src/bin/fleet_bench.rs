@@ -31,10 +31,31 @@
 //!   failover, zero unflagged-corrupt responses, and every crashed
 //!   replica back in rotation (serving again after recovery)
 //!
-//! Identical seed and flags ⇒ byte-identical `BENCH_fleet.json`.
+//! Telemetry plane (qt-telemetry) — always on; every run also writes
+//! `BENCH_telemetry.json` (per-policy SLO scoreboard), per-policy
+//! `telemetry_<policy>_{series,alerts}.jsonl`, and flight-recorder
+//! dumps under `flight_<policy>/` on crash or breaker-open:
+//!
+//! * `--slo-availability A` — availability SLO target (default 0.999;
+//!   0 disables)
+//! * `--slo-p99-ms M` — p99 latency SLO bound in ms (default 0 = off)
+//! * `--slo-window-scale F` — shrink the SRE burn-rate windows
+//!   (5m/1h fast, 6h/3d slow) by F so they fit short simulated runs
+//! * `--telemetry-interval-ms M` — time-series window width (default
+//!   100 ms)
+//! * `--flight-cap N` — flight-recorder ring capacity per replica
+//! * `--expect-alerts` / `--expect-no-alerts` — CI assertions on the
+//!   burn-rate alert count across all policies
+//!
+//! With `--trace-out`/`--manifest-out`, artifacts are suffixed per
+//! policy (`trace_health_aware.json`, ...) and carry the telemetry
+//! span trees and alert instants.
+//!
+//! Identical seed and flags ⇒ byte-identical `BENCH_fleet.json` and
+//! `BENCH_telemetry.json`.
 
 use qt_fleet::{
-    audit_unflagged_corruption, run_fleet, ArrivalShape, DirSnapStore, FleetConfig,
+    audit_unflagged_corruption, run_fleet_observed, ArrivalShape, DirSnapStore, FleetConfig,
     FleetLoadSpec, FleetReport, ReplicaSpec, RouterPolicy,
 };
 use qt_quant::ElemFormat;
@@ -64,6 +85,13 @@ fn main() {
     let mut max_failovers = 3u32;
     let mut snapshot_ms = 100u64;
     let mut smoke = false;
+    let mut slo_availability = 0.999f64;
+    let mut slo_p99_ms = 0u64;
+    let mut slo_window_scale = 1.0f64;
+    let mut telemetry_interval_ms = 100u64;
+    let mut flight_cap = 256usize;
+    let mut expect_alerts = false;
+    let mut expect_no_alerts = false;
 
     let mut it = opts.extra.iter();
     while let Some(a) = it.next() {
@@ -171,6 +199,33 @@ fn main() {
                 }
             }
             "--smoke" => smoke = true,
+            "--slo-availability" => {
+                if let Some(v) = it.next() {
+                    slo_availability = v.parse().unwrap_or(slo_availability);
+                }
+            }
+            "--slo-p99-ms" => {
+                if let Some(v) = it.next() {
+                    slo_p99_ms = v.parse().unwrap_or(slo_p99_ms);
+                }
+            }
+            "--slo-window-scale" => {
+                if let Some(v) = it.next() {
+                    slo_window_scale = v.parse().unwrap_or(slo_window_scale);
+                }
+            }
+            "--telemetry-interval-ms" => {
+                if let Some(v) = it.next() {
+                    telemetry_interval_ms = v.parse().unwrap_or(telemetry_interval_ms);
+                }
+            }
+            "--flight-cap" => {
+                if let Some(v) = it.next() {
+                    flight_cap = v.parse().unwrap_or(flight_cap);
+                }
+            }
+            "--expect-alerts" => expect_alerts = true,
+            "--expect-no-alerts" => expect_no_alerts = true,
             other => eprintln!("ignoring unknown argument {other:?}"),
         }
     }
@@ -283,8 +338,27 @@ fn main() {
         })]
     };
 
+    // SLO set shared by every policy run: availability, optionally a
+    // p99 latency bound, with burn-rate windows scaled down to fit the
+    // short simulated horizon.
+    let mut slos = Vec::new();
+    if slo_availability > 0.0 {
+        slos.push(
+            qt_telemetry::SloSpec::availability(slo_availability)
+                .with_window_scale(slo_window_scale),
+        );
+    }
+    if slo_p99_ms > 0 {
+        slos.push(
+            qt_telemetry::SloSpec::latency_p99(0.99, slo_p99_ms * 1_000)
+                .with_window_scale(slo_window_scale),
+        );
+    }
+
     std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
     let mut policy_docs: Vec<serde_json::Value> = Vec::new();
+    let mut telemetry_docs: Vec<serde_json::Value> = Vec::new();
+    let mut total_alert_fires = 0u64;
     let mut reports: Vec<(RouterPolicy, FleetReport, u64)> = Vec::new();
     for policy in policies {
         let cfg = FleetConfig {
@@ -298,16 +372,30 @@ fn main() {
             retry_seed: opts.seed,
         };
         let snap_dir = opts.out_dir.join(format!("fleet_snaps_{}", policy.name()));
-        let trace = opts.open_trace(&format!("fleet_bench_{}", policy.name()));
-        let report = run_fleet(
+        let popts = opts.scoped(policy.name());
+        let trace = popts.open_trace(&format!("fleet_bench_{}", policy.name()));
+        let tel_cfg = qt_telemetry::TelemetryConfig {
+            interval_us: telemetry_interval_ms.max(1) * 1_000,
+            slos: slos.clone(),
+            flight_capacity: flight_cap,
+            flight_dir: Some(opts.out_dir.join(format!("flight_{}", policy.name()))),
+            seed: opts.seed,
+            ..qt_telemetry::TelemetryConfig::default()
+        };
+        let tel = qt_telemetry::TelemetrySink::handle(tel_cfg, cfg.replicas.len());
+        let report = run_fleet_observed(
             &model,
             &cfg,
             &requests,
             faults_for(&specs),
             Box::new(DirSnapStore::new(&snap_dir)),
             trace.as_ref(),
+            Some(&tel),
         );
-        opts.close_trace(trace);
+        if let Some(t) = trace.as_ref() {
+            qt_telemetry::export_to_trace(&tel.borrow(), &mut t.borrow_mut());
+        }
+        popts.close_trace(trace);
         assert!(
             report.reconciles(),
             "{}: outcome counters must reconcile to offered load",
@@ -318,9 +406,30 @@ fn main() {
         if let serde_json::Value::Object(map) = &mut doc {
             map.insert("unflagged_corrupt".into(), serde_json::json!(unflagged));
         }
+
+        // Telemetry artifacts: per-policy scoreboard section plus the
+        // raw series/alert streams as JSONL (all atomic writes).
+        let sink = tel.borrow();
+        let fires = sink.slo().fires();
+        total_alert_fires += fires as u64;
+        let series_path = opts
+            .out_dir
+            .join(format!("telemetry_{}_series.jsonl", policy.name()));
+        qt_ckpt::atomic_write_str(&series_path, &qt_telemetry::timeseries_jsonl(&sink))
+            .unwrap_or_else(|e| eprintln!("telemetry series {}: {e}", series_path.display()));
+        let alerts_path = opts
+            .out_dir
+            .join(format!("telemetry_{}_alerts.jsonl", policy.name()));
+        qt_ckpt::atomic_write_str(&alerts_path, &qt_telemetry::alerts_jsonl(&sink))
+            .unwrap_or_else(|e| eprintln!("telemetry alerts {}: {e}", alerts_path.display()));
+        let mut tdoc = qt_telemetry::telemetry_report(&sink);
+        if let serde_json::Value::Object(map) = &mut tdoc {
+            map.insert("policy".into(), serde_json::json!(policy.name()));
+        }
+        telemetry_docs.push(tdoc);
         eprintln!(
             "[fleet_bench] {}: goodput {:.3}, shed {:.3}, miss {:.3}, failovers {} \
-             (crash {}), hedges {}, unflagged corrupt {}",
+             (crash {}), hedges {}, unflagged corrupt {}, alert fires {}, flight dumps {}",
             policy.name(),
             report.goodput(),
             report.shed_rate(),
@@ -328,8 +437,11 @@ fn main() {
             report.failovers,
             report.crash_failovers,
             report.hedges,
-            unflagged
+            unflagged,
+            fires,
+            sink.dumps().len()
         );
+        drop(sink);
         policy_docs.push(doc);
         reports.push((policy, report, unflagged));
     }
@@ -394,6 +506,40 @@ fn main() {
     // Atomic write (qt-ckpt): a crash here never leaves a torn report.
     qt_ckpt::atomic_write_str(&path, &text).expect("write BENCH_fleet.json");
     eprintln!("[fleet_bench] wrote {}", path.display());
+
+    // Telemetry scoreboard: the per-policy SLO/alert/trace/flight
+    // summary, same determinism contract as BENCH_fleet.json.
+    let tel_doc = serde_json::json!({
+        "schema": "qt-telemetry/bench/v1",
+        "bench": "fleet_bench",
+        "seed": opts.seed,
+        "slo_availability": slo_availability,
+        "slo_p99_ms": slo_p99_ms,
+        "slo_window_scale": slo_window_scale,
+        "interval_ms": telemetry_interval_ms,
+        "alert_fires": total_alert_fires,
+        "policies": telemetry_docs,
+    });
+    let tel_path = opts.out_dir.join("BENCH_telemetry.json");
+    let mut tel_text = serde_json::to_string_pretty(&tel_doc).expect("serializable");
+    tel_text.push('\n');
+    qt_ckpt::atomic_write_str(&tel_path, &tel_text).expect("write BENCH_telemetry.json");
+    eprintln!("[fleet_bench] wrote {}", tel_path.display());
+
+    if expect_alerts {
+        assert!(
+            total_alert_fires > 0,
+            "--expect-alerts: no burn-rate alert fired across any policy"
+        );
+        eprintln!("[fleet_bench] burn-rate alerts fired as expected ({total_alert_fires})");
+    }
+    if expect_no_alerts {
+        assert_eq!(
+            total_alert_fires, 0,
+            "--expect-no-alerts: burn-rate alerts fired on a healthy run"
+        );
+        eprintln!("[fleet_bench] zero burn-rate alerts, as expected");
+    }
 
     // Quick textual comparison table for humans.
     println!("fleet_bench (seed {}, {} requests)", opts.seed, requests.len());

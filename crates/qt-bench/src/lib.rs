@@ -141,6 +141,28 @@ impl Opts {
         }
     }
 
+    /// A copy of these options whose `--trace-out` / `--manifest-out`
+    /// paths carry `_label` before the extension, so a binary that runs
+    /// several configurations (e.g. `fleet_bench --policy all`) writes
+    /// one artifact set per configuration instead of overwriting the
+    /// same file on every [`Opts::close_trace`].
+    pub fn scoped(&self, label: &str) -> Self {
+        let suffix = |p: &std::path::PathBuf| -> std::path::PathBuf {
+            let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
+            let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("out");
+            let name = if ext.is_empty() {
+                format!("{stem}_{label}")
+            } else {
+                format!("{stem}_{label}.{ext}")
+            };
+            p.with_file_name(name)
+        };
+        let mut out = self.clone();
+        out.trace_out = self.trace_out.as_ref().map(&suffix);
+        out.manifest_out = self.manifest_out.as_ref().map(&suffix);
+        out
+    }
+
     /// Open a trace session named after the binary when `--trace-out` or
     /// `--manifest-out` was given, annotated with the run's seed and
     /// mode; `None` otherwise (the hot path stays untraced).

@@ -50,5 +50,5 @@ pub use report::{
     Dispatch, DispatchCause, FleetOutcome, FleetReport, FleetResponse, ReplicaReport,
 };
 pub use router::{ReplicaView, Router, RouterPolicy};
-pub use sim::{audit_unflagged_corruption, run_fleet, Fleet};
+pub use sim::{audit_unflagged_corruption, run_fleet, run_fleet_observed, Fleet};
 pub use tenant::TenantBook;

@@ -34,6 +34,7 @@ use crate::tenant::TenantBook;
 use qt_quant::HealthWindow;
 use qt_robust::{cell_seed, FaultSource, LifecycleEvent, NoFaults};
 use qt_serve::{Backoff, BreakerState, Request};
+use qt_telemetry::TelemetryHandle;
 use qt_trace::{LogHist, TraceHandle};
 use qt_transformer::Model;
 use std::collections::{BinaryHeap, VecDeque};
@@ -145,6 +146,16 @@ enum EpisodeEnd {
     FailoverCrash { at: u64 },
 }
 
+/// One forward attempt's interval within an episode, kept so the
+/// telemetry plane can hang an `attempt` span per engine pass under the
+/// request's trace tree.
+struct AttemptSpan {
+    start_us: u64,
+    end_us: u64,
+    flagged: bool,
+    completed: bool,
+}
+
 /// One episode's outputs, applied to counters by the caller.
 struct Episode {
     end: EpisodeEnd,
@@ -153,6 +164,8 @@ struct Episode {
     bits: u64,
     /// A forward pass was actually cancelled by the crash boundary.
     crash_interrupted: bool,
+    /// One entry per forward attempt, in execution order.
+    attempt_log: Vec<AttemptSpan>,
 }
 
 /// Run one service episode of `job` on `r` starting at `start_us`.
@@ -177,44 +190,47 @@ fn run_episode(r: &Replica, job: &Job, start_us: u64, can_failover: bool, seed: 
     let mut flagged_local = 0u32;
     let mut bits = 0u64;
     let mut force_degraded = false;
-    let done = |end, attempts, flagged_local, bits, ci| Episode {
+    let mut attempt_log: Vec<AttemptSpan> = Vec::new();
+    let done = |end, attempts, flagged_local, bits, ci, attempt_log| Episode {
         end,
         attempts,
         flagged: flagged_local,
         bits,
         crash_interrupted: ci,
+        attempt_log,
     };
     loop {
         if let Some(c) = crash_at {
             if t >= c {
                 // Backoff (or pickup) straddled the outage: the request
                 // was on this replica when it died.
-                return done(EpisodeEnd::FailoverCrash { at: c }, attempts, flagged_local, bits, false);
+                return done(EpisodeEnd::FailoverCrash { at: c }, attempts, flagged_local, bits, false, attempt_log);
             }
         }
         if job.attempts + attempts >= ATTEMPT_HARD_CAP {
-            return done(EpisodeEnd::Miss { at: t }, attempts, flagged_local, bits, false);
+            return done(EpisodeEnd::Miss { at: t }, attempts, flagged_local, bits, false, attempt_log);
         }
         let deadline_blocks = if deadline == Request::NO_DEADLINE {
             u64::MAX
         } else if t >= deadline {
-            return done(EpisodeEnd::Miss { at: t }, attempts, flagged_local, bits, false);
+            return done(EpisodeEnd::Miss { at: t }, attempts, flagged_local, bits, false, attempt_log);
         } else {
             (deadline - t) / per_block
         };
         if deadline_blocks == 0 {
-            return done(EpisodeEnd::Miss { at: t }, attempts, flagged_local, bits, false);
+            return done(EpisodeEnd::Miss { at: t }, attempts, flagged_local, bits, false, attempt_log);
         }
         let crash_blocks = crash_at.map(|c| (c - t) / per_block).unwrap_or(u64::MAX);
         if crash_blocks == 0 {
             // Not even one block fits before the outage.
             let c = crash_at.unwrap_or(t);
-            return done(EpisodeEnd::FailoverCrash { at: c }, attempts, flagged_local, bits, false);
+            return done(EpisodeEnd::FailoverCrash { at: c }, attempts, flagged_local, bits, false, attempt_log);
         }
         let budget = deadline_blocks.min(crash_blocks);
         let primary = !force_degraded
             && r.breaker.borrow().state() != BreakerState::Open
             && flagged_local < max_local;
+        let attempt_start = t;
         let a = r
             .engine()
             .attempt(&job.freq.req, job.attempts + attempts, primary, budget);
@@ -224,15 +240,22 @@ fn run_episode(r: &Replica, job: &Job, start_us: u64, can_failover: bool, seed: 
         if primary && a.completed {
             r.breaker.borrow_mut().on_primary_outcome(&a.health, t);
         }
+        let flagged_attempt = a.completed && HealthWindow::is_unhealthy(&a.health);
+        attempt_log.push(AttemptSpan {
+            start_us: attempt_start,
+            end_us: t,
+            flagged: flagged_attempt,
+            completed: a.completed,
+        });
         if !a.completed {
             if crash_blocks < deadline_blocks {
                 // The crash boundary, not the deadline, cut this pass.
                 let c = crash_at.unwrap_or(t);
-                return done(EpisodeEnd::FailoverCrash { at: c }, attempts, flagged_local, bits, true);
+                return done(EpisodeEnd::FailoverCrash { at: c }, attempts, flagged_local, bits, true, attempt_log);
             }
-            return done(EpisodeEnd::Miss { at: t }, attempts, flagged_local, bits, false);
+            return done(EpisodeEnd::Miss { at: t }, attempts, flagged_local, bits, false, attempt_log);
         }
-        if HealthWindow::is_unhealthy(&a.health) {
+        if flagged_attempt {
             // Flagged: this output never leaves the fleet.
             flagged_local += 1;
             let tripped = r.breaker.borrow().state() == BreakerState::Open;
@@ -244,6 +267,7 @@ fn run_episode(r: &Replica, job: &Job, start_us: u64, can_failover: bool, seed: 
                         flagged_local,
                         bits,
                         false,
+                        attempt_log,
                     );
                 }
                 // Nowhere to go: finish here on the degraded path.
@@ -262,6 +286,7 @@ fn run_episode(r: &Replica, job: &Job, start_us: u64, can_failover: bool, seed: 
             flagged_local,
             bits,
             false,
+            attempt_log,
         );
     }
 }
@@ -302,6 +327,11 @@ pub struct Fleet {
     heap: BinaryHeap<Entry>,
     seq: u64,
     acc: Acc,
+    /// Optional telemetry plane; `None` costs nothing.
+    telemetry: Option<TelemetryHandle>,
+    /// Per-replica cursor into the breaker's transition log, so new
+    /// transitions stream to telemetry exactly once.
+    breaker_seen: Vec<usize>,
 }
 
 impl Fleet {
@@ -338,6 +368,43 @@ impl Fleet {
             seq: 0,
             acc: Acc::default(),
             cfg,
+            telemetry: None,
+            breaker_seen: vec![0; n],
+        }
+    }
+
+    /// Attach a telemetry sink; every fleet event (arrival, dispatch,
+    /// attempt, outcome, breaker transition, crash, recovery, snapshot)
+    /// is reported into it as the run executes. The sink should be
+    /// built for the same replica count as the fleet.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Stream breaker transitions recorded since the last drain into
+    /// the telemetry sink (state gauge, transition counters, flight
+    /// ring — an Open transition freezes the replica's black box).
+    fn drain_breaker_transitions(&mut self) {
+        let Some(tel) = self.telemetry.clone() else {
+            return;
+        };
+        let mut sink = tel.borrow_mut();
+        for r in &self.replicas {
+            let seen = &mut self.breaker_seen[r.id];
+            let b = r.breaker.borrow();
+            let trs = b.transitions();
+            for tr in &trs[*seen..] {
+                sink.breaker(
+                    tr.at_us,
+                    r.id,
+                    tr.from.name(),
+                    tr.to.name(),
+                    tr.to.code() as f64,
+                    tr.unhealthy_rate,
+                );
+            }
+            *seen = trs.len();
         }
     }
 
@@ -406,6 +473,17 @@ impl Fleet {
             self.acc.latency.observe(latency_us as f32);
         }
         self.acc.end_us = self.acc.end_us.max(finish_us);
+        if let Some(tel) = self.telemetry.clone() {
+            tel.borrow_mut().outcome(
+                finish_us,
+                job.freq.req.id,
+                replica,
+                outcome.name(),
+                outcome.is_served(),
+                outcome.is_shed(),
+                latency_us,
+            );
+        }
         self.acc.responses.push(FleetResponse {
             id: job.freq.req.id,
             user: job.freq.user,
@@ -438,6 +516,10 @@ impl Fleet {
                     cause,
                     excluded: job.excluded.clone(),
                 });
+                if let Some(tel) = self.telemetry.clone() {
+                    tel.borrow_mut()
+                        .dispatch(now, job.freq.req.id, target, cause.name());
+                }
                 self.place(target, job, now);
                 true
             }
@@ -463,6 +545,9 @@ impl Fleet {
             let depth = self.queues[target].len() as u64;
             let stats = &mut self.replicas[target].stats;
             stats.max_queue_depth = stats.max_queue_depth.max(depth);
+            if let Some(tel) = self.telemetry.clone() {
+                tel.borrow_mut().queue_depth(now, target, depth as usize);
+            }
             self.kick(target, now);
         }
     }
@@ -511,6 +596,9 @@ impl Fleet {
                     cause: DispatchCause::Hedge,
                     excluded: job.excluded.clone(),
                 });
+                if let Some(tel) = self.telemetry.clone() {
+                    tel.borrow_mut().hedge(now, job.freq.req.id, target);
+                }
                 self.place(target, job, now);
                 return;
             }
@@ -518,12 +606,27 @@ impl Fleet {
         self.busy[r] += 1;
         if !job.waited {
             job.waited = true;
-            self.acc
-                .queue_wait
-                .observe(now.saturating_sub(job.freq.req.arrival_us) as f32);
+            let wait = now.saturating_sub(job.freq.req.arrival_us);
+            self.acc.queue_wait.observe(wait as f32);
+            if let Some(tel) = self.telemetry.clone() {
+                tel.borrow_mut().queue_wait(now, r, wait);
+            }
         }
         let can_failover = self.replicas.len() > 1 && job.failovers < self.cfg.max_failovers;
         let ep = run_episode(&self.replicas[r], &job, now, can_failover, self.cfg.retry_seed);
+        if let Some(tel) = self.telemetry.clone() {
+            let mut sink = tel.borrow_mut();
+            for a in &ep.attempt_log {
+                sink.attempt(
+                    job.freq.req.id,
+                    r,
+                    a.start_us,
+                    a.end_us,
+                    a.flagged,
+                    a.completed,
+                );
+            }
+        }
         job.attempts += ep.attempts;
         job.flagged += ep.flagged;
         self.acc.flagged_attempts += ep.flagged as u64;
@@ -568,6 +671,9 @@ impl Fleet {
                 job.excluded.push(r);
                 job.failovers += 1;
                 self.acc.failovers += 1;
+                if let Some(tel) = self.telemetry.clone() {
+                    tel.borrow_mut().failover(at, job.freq.req.id, r, "corrupt");
+                }
                 // The worker frees when the request leaves.
                 self.push_ev(at, Ev::Done(r, None));
                 self.push_ev(at, Ev::Failover(Box::new(job), DispatchCause::FailoverCorrupt));
@@ -577,6 +683,9 @@ impl Fleet {
                 job.failovers += 1;
                 self.acc.failovers += 1;
                 self.acc.crash_failovers += 1;
+                if let Some(tel) = self.telemetry.clone() {
+                    tel.borrow_mut().failover(at, job.freq.req.id, r, "crash");
+                }
                 // No Done: this worker dies with the replica; the crash
                 // lifecycle event resets the whole replica's busy count.
                 self.push_ev(at, Ev::Failover(Box::new(job), DispatchCause::FailoverCrash));
@@ -608,9 +717,13 @@ impl Fleet {
             self.acc.end_us = self.acc.end_us.max(now);
             match ev {
                 Ev::Arrival(freq) => {
+                    if let Some(tel) = self.telemetry.clone() {
+                        tel.borrow_mut().arrival(now, freq.req.id);
+                    }
                     if !self.book.admit(freq.tenant) {
                         let job = Job::new(*freq);
                         self.respond(&job, FleetOutcome::ShedQuota, None, None, now);
+                        self.drain_breaker_transitions();
                         continue;
                     }
                     self.dispatch_or_shed(Job::new(*freq), now, DispatchCause::Fresh);
@@ -631,6 +744,9 @@ impl Fleet {
                 Ev::Lifecycle(r, LifecycleEvent::Crash) => {
                     self.replicas[r].stats.crashes += 1;
                     self.busy[r] = 0;
+                    if let Some(tel) = self.telemetry.clone() {
+                        tel.borrow_mut().crash(now, r);
+                    }
                     let drained: Vec<Job> = self.queues[r].drain(..).collect();
                     if let Some(t) = trace {
                         t.borrow_mut().instant(
@@ -657,6 +773,9 @@ impl Fleet {
                         Err(qt_serve::SnapshotError::Corrupt(_))
                     );
                     self.replicas[r].recover(loaded, now);
+                    if let Some(tel) = self.telemetry.clone() {
+                        tel.borrow_mut().recover(now, r, corrupt);
+                    }
                     if let Some(t) = trace {
                         let mut s = t.borrow_mut();
                         s.instant(
@@ -679,6 +798,9 @@ impl Fleet {
                             let snap = self.replicas[id].snapshot();
                             if self.store.save(id, &snap).is_ok() {
                                 self.replicas[id].stats.snapshot_saves += 1;
+                                if let Some(tel) = self.telemetry.clone() {
+                                    tel.borrow_mut().snapshot_save(now, id);
+                                }
                             }
                         }
                     }
@@ -688,6 +810,7 @@ impl Fleet {
                     }
                 }
             }
+            self.drain_breaker_transitions();
         }
 
         let mut acc = std::mem::take(&mut self.acc);
@@ -730,7 +853,40 @@ impl Fleet {
 
         if let Some(t) = trace {
             let mut s = t.borrow_mut();
+            // Per-replica breaker history: one instant per transition, so
+            // the trace timeline and the report agree by construction.
+            for r in &self.replicas {
+                for tr in r.breaker.borrow().transitions() {
+                    s.instant(
+                        "fleet.breaker",
+                        "fleet",
+                        vec![
+                            ("replica".to_string(), r.id as f64),
+                            ("at_us".to_string(), tr.at_us as f64),
+                            ("to".to_string(), tr.to.code() as f64),
+                            ("unhealthy_rate".to_string(), tr.unhealthy_rate),
+                        ],
+                    );
+                }
+            }
             let m = s.metrics_mut();
+            for r in &self.replicas {
+                let rid = r.id.to_string();
+                for tr in r.breaker.borrow().transitions() {
+                    m.counter_add(
+                        "fleet.breaker_transitions",
+                        &[("replica", &rid), ("to", tr.to.name())],
+                        1,
+                    );
+                }
+                if r.stats.snapshot_corrupt > 0 {
+                    m.counter_add(
+                        "fleet.snapshot_corrupt",
+                        &[("replica", &rid)],
+                        r.stats.snapshot_corrupt,
+                    );
+                }
+            }
             m.counter_add("fleet.offered", &[], report.offered);
             m.counter_add("fleet.served_primary", &[], report.served_primary);
             m.counter_add("fleet.served_degraded", &[], report.served_degraded);
@@ -764,6 +920,26 @@ pub fn run_fleet(
     trace: Option<&TraceHandle>,
 ) -> FleetReport {
     Fleet::new(model, cfg.clone(), faults, store).run(requests, trace)
+}
+
+/// [`run_fleet`] with a telemetry plane attached: identical event loop
+/// and report, plus live time-series, SLO burn-rate evaluation, request
+/// span trees, and flight recorders accumulating in `telemetry`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet_observed(
+    model: &Model,
+    cfg: &FleetConfig,
+    requests: &[FleetRequest],
+    faults: Vec<Box<dyn FaultSource + Send + Sync>>,
+    store: Box<dyn SnapStore>,
+    trace: Option<&TraceHandle>,
+    telemetry: Option<&TelemetryHandle>,
+) -> FleetReport {
+    let mut fleet = Fleet::new(model, cfg.clone(), faults, store);
+    if let Some(tel) = telemetry {
+        fleet = fleet.with_telemetry(tel.clone());
+    }
+    fleet.run(requests, trace)
 }
 
 /// Replay audit: re-execute the *final* attempt of every served-primary
@@ -996,6 +1172,100 @@ mod tests {
         let t1: Vec<_> = report.responses.iter().filter(|r| r.tenant == 1).collect();
         assert_eq!(t1.len(), 1);
         assert!(t1[0].outcome.is_served(), "tenant 1 unaffected");
+    }
+
+    #[test]
+    fn observed_run_agrees_with_report() {
+        use qt_telemetry::{Scope, TelemetryConfig, TelemetrySink};
+        let model = tiny_model();
+        let pass = model.blocks_per_forward() * ReplicaSpec::BASE_BLOCK_US;
+        let mut cfg = FleetConfig {
+            replicas: vec![ReplicaSpec::new(ElemFormat::P8E1); 2],
+            snapshot_every_us: 5 * pass,
+            ..FleetConfig::default()
+        };
+        cfg.replicas[1] = ReplicaSpec::new(ElemFormat::P8E1)
+            .with_crashes(CrashSchedule::single(10 * pass + pass / 2, 20 * pass));
+        let reqs = FleetLoadSpec {
+            rps: 2.2 * 1e6 / pass as f64,
+            duration_us: 80 * pass,
+            shape: ArrivalShape::Constant,
+            deadline_us: 0,
+            ..FleetLoadSpec::default()
+        }
+        .requests(model.cfg.vocab);
+        let baseline = run_fleet(
+            &model,
+            &cfg,
+            &reqs,
+            Vec::new(),
+            Box::new(MemSnapStore::new()),
+            None,
+        );
+        let tel = TelemetrySink::handle(
+            TelemetryConfig {
+                interval_us: pass,
+                seed: cfg.retry_seed,
+                ..TelemetryConfig::default()
+            },
+            cfg.replicas.len(),
+        );
+        let observed = run_fleet_observed(
+            &model,
+            &cfg,
+            &reqs,
+            Vec::new(),
+            Box::new(MemSnapStore::new()),
+            None,
+            Some(&tel),
+        );
+        // Observation changes nothing about the run itself.
+        assert_eq!(baseline, observed);
+        let sink = tel.borrow();
+        // Counters reconcile with the report.
+        assert_eq!(
+            sink.series_get(Scope::Fleet, "arrivals")
+                .unwrap()
+                .counter_total(),
+            observed.offered
+        );
+        assert_eq!(
+            sink.series_get(Scope::Fleet, "responses")
+                .unwrap()
+                .counter_total(),
+            observed.offered
+        );
+        assert_eq!(
+            sink.series_get(Scope::Fleet, "served")
+                .unwrap()
+                .counter_total(),
+            observed.served_primary + observed.served_degraded
+        );
+        assert_eq!(
+            sink.series_get(Scope::Fleet, "crashes")
+                .unwrap()
+                .counter_total(),
+            1
+        );
+        // The crash froze replica 1's flight ring.
+        assert!(sink
+            .dumps()
+            .iter()
+            .any(|d| d.replica == 1 && d.reason == "crash"));
+        // Every request has a closed, structurally complete span tree,
+        // and attempt spans reconcile with per-response attempt counts.
+        assert_eq!(sink.book().len(), observed.offered as usize);
+        assert_eq!(sink.book().complete_count(), sink.book().len());
+        for resp in &observed.responses {
+            let t = sink.book().get(resp.id).unwrap();
+            assert_eq!(
+                t.spans_named("attempt").count() as u32,
+                resp.attempts,
+                "req {}: {t:?}",
+                resp.id
+            );
+            assert_eq!(t.outcome.as_deref(), Some(resp.outcome.name()));
+        }
     }
 
     #[test]

@@ -46,5 +46,5 @@ pub use queue::{BoundedQueue, Rejected};
 pub use request::{OutcomeKind, Request, Response};
 pub use retry::{Backoff, RetryPolicy};
 pub use server::{Server, ServerStats};
-pub use sim::{run_sim, LoadSpec, ServeReport};
+pub use sim::{run_sim, run_sim_observed, LoadSpec, ServeReport};
 pub use snapshot::{HealthSnapshot, SnapshotError, SNAPSHOT_SCHEMA};

@@ -240,6 +240,20 @@ pub fn run_sim(
     requests: &[Request],
     trace: Option<&TraceHandle>,
 ) -> ServeReport {
+    run_sim_observed(engine, cfg, requests, trace, None)
+}
+
+/// [`run_sim`] with a telemetry plane attached: the identical event
+/// loop and report, plus live time-series, SLO burn-rate evaluation,
+/// request span trees, and a flight recorder (the single engine reports
+/// as replica 0) accumulating in `telemetry`.
+pub fn run_sim_observed(
+    engine: &Engine,
+    cfg: &ServeConfig,
+    requests: &[Request],
+    trace: Option<&TraceHandle>,
+    telemetry: Option<&qt_telemetry::TelemetryHandle>,
+) -> ServeReport {
     let cfg = cfg.clone().normalized();
     // RefCell because one `process` call consults the breaker from two
     // closures (route + record); the sim is single-threaded by design.
@@ -284,7 +298,13 @@ pub fn run_sim(
                  breaker: &std::cell::RefCell<CircuitBreaker>,
                  report: &mut ServeReport|
      -> Entry {
-        report.queue_wait.observe(now.saturating_sub(req.arrival_us) as f32);
+        let wait = now.saturating_sub(req.arrival_us);
+        report.queue_wait.observe(wait as f32);
+        if let Some(tel) = telemetry {
+            let mut sink = tel.borrow_mut();
+            sink.queue_wait(now, 0, wait);
+            sink.dispatch(now, req.id, 0, "fresh");
+        }
         let out = engine.process(
             &req,
             now,
@@ -294,6 +314,20 @@ pub fn run_sim(
         report.flagged_attempts += out.response.flagged as u64;
         report.bits_flipped += out.bits_flipped;
         let finish = out.response.finish_us;
+        if let Some(tel) = telemetry {
+            let resp = &out.response;
+            let mut sink = tel.borrow_mut();
+            sink.attempt(resp.id, 0, now, finish, resp.flagged > 0, true);
+            sink.outcome(
+                finish,
+                resp.id,
+                Some(0),
+                resp.outcome.name(),
+                resp.outcome.is_served(),
+                resp.outcome == OutcomeKind::ShedQueueFull,
+                resp.latency_us,
+            );
+        }
         record_response(report, out.response);
         Entry {
             at: finish,
@@ -302,20 +336,61 @@ pub fn run_sim(
         }
     };
 
+    // Breaker transitions are streamed to the sink as they happen (so
+    // breaker-open flight dumps freeze the ring at trip time), tracked
+    // by a cursor into the breaker's transition log.
+    let mut breaker_seen = 0usize;
+    let drain_breaker =
+        |breaker: &std::cell::RefCell<CircuitBreaker>, seen: &mut usize| {
+            let Some(tel) = telemetry else { return };
+            let b = breaker.borrow();
+            let transitions = b.transitions();
+            let mut sink = tel.borrow_mut();
+            for tr in &transitions[*seen..] {
+                sink.breaker(
+                    tr.at_us,
+                    0,
+                    tr.from.name(),
+                    tr.to.name(),
+                    tr.to.code() as f64,
+                    tr.unhealthy_rate,
+                );
+            }
+            *seen = transitions.len();
+        };
+
     while let Some(Entry { at: now, ev, .. }) = heap.pop() {
         report.end_us = report.end_us.max(now);
         match ev {
             Ev::Arrival(req) => {
+                if let Some(tel) = telemetry {
+                    tel.borrow_mut().arrival(now, req.id);
+                }
                 if let Some(&w) = idle.iter().next() {
                     idle.remove(&w);
                     let mut done = start(w, *req, now, &breaker, &mut report);
                     done.seq = seq;
                     seq += 1;
                     heap.push(done);
+                    drain_breaker(&breaker, &mut breaker_seen);
                 } else if queue.len() < cfg.queue_cap {
                     queue.push_back(*req);
                     report.max_queue_depth = report.max_queue_depth.max(queue.len() as u64);
+                    if let Some(tel) = telemetry {
+                        tel.borrow_mut().queue_depth(now, 0, queue.len());
+                    }
                 } else {
+                    if let Some(tel) = telemetry {
+                        tel.borrow_mut().outcome(
+                            now,
+                            req.id,
+                            None,
+                            OutcomeKind::ShedQueueFull.name(),
+                            false,
+                            true,
+                            0,
+                        );
+                    }
                     record_response(&mut report, Response::shed(&req));
                 }
             }
@@ -325,12 +400,14 @@ pub fn run_sim(
                     done.seq = seq;
                     seq += 1;
                     heap.push(done);
+                    drain_breaker(&breaker, &mut breaker_seen);
                 } else {
                     idle.insert(w);
                 }
             }
         }
     }
+    drain_breaker(&breaker, &mut breaker_seen);
 
     let breaker = breaker.into_inner();
     report.breaker_trips = breaker.trips();
@@ -461,6 +538,56 @@ mod tests {
             report.offered,
             "every request has exactly one response"
         );
+    }
+
+    #[test]
+    fn observed_sim_matches_report_and_reconciles() {
+        use qt_telemetry::{Scope, TelemetryConfig, TelemetrySink};
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_cap: 2,
+            ..ServeConfig::default()
+        };
+        let eng = engine(&cfg);
+        let spec = LoadSpec {
+            rps: 4.0 * 1e6 / eng.full_pass_us() as f64,
+            duration_us: 40 * eng.full_pass_us(),
+            deadline_us: 2 * eng.full_pass_us(),
+            seq: 8,
+            seed: 2,
+        };
+        let reqs = spec.requests(eng.model().cfg.vocab);
+        let baseline = run_sim(&eng, &cfg, &reqs, None);
+        let tel = TelemetrySink::handle(TelemetryConfig::default(), 1);
+        let observed = run_sim_observed(&eng, &cfg, &reqs, None, Some(&tel));
+        assert_eq!(baseline, observed, "observation must not perturb the sim");
+
+        let sink = tel.borrow();
+        let arrivals = sink
+            .series_get(Scope::Fleet, "arrivals")
+            .map(|s| s.counter_total())
+            .unwrap_or(0);
+        assert_eq!(arrivals, observed.offered);
+        let responses = sink
+            .series_get(Scope::Fleet, "responses")
+            .map(|s| s.counter_total())
+            .unwrap_or(0);
+        assert_eq!(responses, observed.offered, "every request got an outcome");
+        let served = sink
+            .series_get(Scope::Fleet, "served")
+            .map(|s| s.counter_total())
+            .unwrap_or(0);
+        assert_eq!(served, observed.served_primary + observed.served_degraded);
+        let shed = sink
+            .series_get(Scope::Fleet, "shed")
+            .map(|s| s.counter_total())
+            .unwrap_or(0);
+        assert_eq!(shed, observed.shed_queue_full);
+        // Every traced request closed with a complete span tree.
+        assert_eq!(sink.book().len(), observed.offered as usize);
+        for (_, t) in sink.book().iter() {
+            assert!(t.is_complete(), "incomplete trace: {t:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Crash flight recorder: a bounded ring of recent telemetry events.
+//!
+//! Each replica gets a [`FlightRecorder`] — a fixed-capacity ring of
+//! the most recent [`FlightEvent`]s it produced. When the replica
+//! crashes or its breaker opens, the ring is frozen into a
+//! [`FlightDump`] ("the black box") and written atomically via
+//! qt-ckpt, so a post-mortem can see exactly what the replica was doing
+//! in its final virtual milliseconds even though the live series have
+//! long since rolled their windows.
+
+use serde_json::{json, Value};
+use std::collections::VecDeque;
+
+/// One recorded event: a virtual timestamp, a kind, and numeric detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// Event time, virtual µs.
+    pub at_us: u64,
+    /// Stable kind name (`arrival`, `dispatch`, `outcome.miss`, …).
+    pub kind: String,
+    /// Numeric detail in insertion order.
+    pub detail: Vec<(String, f64)>,
+}
+
+impl FlightEvent {
+    /// The event as a deterministic JSON object.
+    pub fn to_json(&self) -> Value {
+        let detail: Vec<Value> = self
+            .detail
+            .iter()
+            .map(|(k, v)| json!([k.clone(), *v]))
+            .collect();
+        json!({ "at_us": self.at_us, "kind": self.kind.clone(), "detail": detail })
+    }
+}
+
+/// Fixed-capacity ring of recent events; recording past capacity drops
+/// the oldest event and counts it.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cap: usize,
+    dropped: u64,
+    ring: VecDeque<FlightEvent>,
+}
+
+impl FlightRecorder {
+    /// Empty recorder holding at most `cap` events (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            cap,
+            dropped: 0,
+            ring: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently held (never exceeds capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when nothing has been recorded (or everything dropped).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted by the capacity bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Record one event, evicting the oldest when full.
+    pub fn record(&mut self, at_us: u64, kind: &str, detail: Vec<(String, f64)>) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(FlightEvent {
+            at_us,
+            kind: kind.to_string(),
+            detail,
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.ring.iter()
+    }
+
+    /// Freeze the current ring into a dump for `replica` at `at_us`.
+    pub fn dump(&self, replica: usize, at_us: u64, reason: &str) -> FlightDump {
+        FlightDump {
+            replica,
+            at_us,
+            reason: reason.to_string(),
+            dropped: self.dropped,
+            events: self.ring.iter().cloned().collect(),
+            file: None,
+        }
+    }
+}
+
+/// A frozen flight-recorder ring: the black box of one replica at one
+/// moment.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// Replica the ring belonged to.
+    pub replica: usize,
+    /// Dump time, virtual µs.
+    pub at_us: u64,
+    /// Why the dump was taken (`crash`, `breaker_open`, …).
+    pub reason: String,
+    /// Events evicted before the dump (context for truncation).
+    pub dropped: u64,
+    /// The retained events, oldest first.
+    pub events: Vec<FlightEvent>,
+    /// Relative file name the dump was written to, if it was (relative
+    /// by construction so artifacts byte-compare across output dirs).
+    pub file: Option<String>,
+}
+
+impl FlightDump {
+    /// The dump as a deterministic JSON document
+    /// (schema `qt-telemetry/flight/v1`).
+    pub fn to_json(&self) -> Value {
+        let events: Vec<Value> = self.events.iter().map(FlightEvent::to_json).collect();
+        let file = self.file.as_ref().map(Value::from).unwrap_or(Value::Null);
+        json!({
+            "schema": "qt-telemetry/flight/v1",
+            "replica": self.replica,
+            "at_us": self.at_us,
+            "reason": self.reason.clone(),
+            "dropped": self.dropped,
+            "events": events,
+            "file": file,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_never_exceeds_capacity() {
+        let mut r = FlightRecorder::new(4);
+        for t in 0..100u64 {
+            r.record(t, "tick", vec![("n".into(), t as f64)]);
+            assert!(r.len() <= 4);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 96);
+        let times: Vec<u64> = r.events().map(|e| e.at_us).collect();
+        assert_eq!(times, vec![96, 97, 98, 99]);
+    }
+
+    #[test]
+    fn dump_freezes_ring_and_reports_truncation() {
+        let mut r = FlightRecorder::new(2);
+        r.record(1, "a", vec![]);
+        r.record(2, "b", vec![]);
+        r.record(3, "c", vec![]);
+        let d = r.dump(7, 3, "crash");
+        assert_eq!(d.replica, 7);
+        assert_eq!(d.reason, "crash");
+        assert_eq!(d.dropped, 1);
+        assert_eq!(d.events.len(), 2);
+        let j = d.to_json();
+        assert_eq!(j["schema"], "qt-telemetry/flight/v1");
+        assert_eq!(j["events"][0]["kind"], "b");
+        assert_eq!(j["events"][1]["at_us"], 3.0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = FlightRecorder::new(0);
+        r.record(1, "a", vec![]);
+        r.record(2, "b", vec![]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.events().next().unwrap().kind, "b");
+    }
+}

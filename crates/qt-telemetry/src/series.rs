@@ -1,0 +1,410 @@
+//! Windowed time-series on the virtual clock.
+//!
+//! A series is a map from *window index* (`at_us / interval_us`) to an
+//! aggregate: a counter sum, the latest gauge value, or a log2-magnitude
+//! histogram ([`qt_trace::LogHist`], the same binade buckets the rest of
+//! the workspace uses). Windows live in a `BTreeMap` pruned to a bounded
+//! retention, so a series behaves like a ring buffer over recent virtual
+//! time while iterating — and therefore exporting — in deterministic
+//! window order.
+//!
+//! Aggregation is designed to be *arrival-order invariant* for counters
+//! and histograms (sums commute) and timestamp-resolved for gauges (the
+//! observation with the greatest timestamp in a window wins), so the
+//! exported values depend only on the set of `(at_us, value)` events,
+//! never on the interleaving the event loop happened to deliver them in.
+
+use qt_trace::LogHist;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// Who a series describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scope {
+    /// The whole fleet (or a single-engine runtime).
+    Fleet,
+    /// One replica, by fleet id.
+    Replica(usize),
+}
+
+impl Scope {
+    /// Stable key prefix (`fleet` or `replica<N>`).
+    pub fn key(&self) -> String {
+        match self {
+            Scope::Fleet => "fleet".to_string(),
+            Scope::Replica(r) => format!("replica{r}"),
+        }
+    }
+}
+
+/// What a series aggregates per window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotonic event count per window (a rate, once divided by the
+    /// interval).
+    Counter,
+    /// Latest value per window (greatest observation timestamp wins).
+    Gauge,
+    /// Log2-magnitude histogram of observations per window.
+    Hist,
+}
+
+impl SeriesKind {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Hist => "hist",
+        }
+    }
+}
+
+/// One window's aggregate.
+#[derive(Debug, Clone, PartialEq)]
+enum WindowValue {
+    Counter(u64),
+    Gauge { at_us: u64, value: f64 },
+    Hist(LogHist),
+}
+
+/// One named, windowed time-series.
+#[derive(Debug, Clone)]
+pub struct WindowedSeries {
+    kind: SeriesKind,
+    interval_us: u64,
+    retain: usize,
+    windows: BTreeMap<u64, WindowValue>,
+    /// Windows evicted by the retention bound (so exports can say what
+    /// they do not show).
+    evicted: u64,
+}
+
+impl WindowedSeries {
+    /// Empty series of `kind` with `interval_us`-wide windows, keeping at
+    /// most `retain` of them.
+    pub fn new(kind: SeriesKind, interval_us: u64, retain: usize) -> Self {
+        Self {
+            kind,
+            interval_us: interval_us.max(1),
+            retain: retain.max(1),
+            windows: BTreeMap::new(),
+            evicted: 0,
+        }
+    }
+
+    /// The aggregate kind.
+    pub fn kind(&self) -> SeriesKind {
+        self.kind
+    }
+
+    /// Window width, µs.
+    pub fn interval_us(&self) -> u64 {
+        self.interval_us
+    }
+
+    /// Windows currently retained.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// `true` when no window has data.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Windows evicted by the retention bound so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    fn idx(&self, at_us: u64) -> u64 {
+        at_us / self.interval_us
+    }
+
+    fn prune(&mut self) {
+        while self.windows.len() > self.retain {
+            if let Some((&oldest, _)) = self.windows.iter().next() {
+                self.windows.remove(&oldest);
+                self.evicted += 1;
+            }
+        }
+    }
+
+    /// Add `delta` to the counter window covering `at_us`.
+    pub fn counter_add(&mut self, at_us: u64, delta: u64) {
+        debug_assert_eq!(self.kind, SeriesKind::Counter);
+        let idx = self.idx(at_us);
+        match self.windows.entry(idx).or_insert(WindowValue::Counter(0)) {
+            WindowValue::Counter(c) => *c += delta,
+            _ => unreachable!("kind checked at creation"),
+        }
+        self.prune();
+    }
+
+    /// Set the gauge window covering `at_us`; within a window the
+    /// observation with the greatest timestamp wins (ties: last write).
+    pub fn gauge_set(&mut self, at_us: u64, value: f64) {
+        debug_assert_eq!(self.kind, SeriesKind::Gauge);
+        let idx = self.idx(at_us);
+        match self
+            .windows
+            .entry(idx)
+            .or_insert(WindowValue::Gauge { at_us, value })
+        {
+            WindowValue::Gauge {
+                at_us: prev_at,
+                value: prev,
+            } => {
+                if at_us >= *prev_at {
+                    *prev_at = at_us;
+                    *prev = value;
+                }
+            }
+            _ => unreachable!("kind checked at creation"),
+        }
+        self.prune();
+    }
+
+    /// Record one scalar into the histogram window covering `at_us`.
+    pub fn observe(&mut self, at_us: u64, x: f32) {
+        debug_assert_eq!(self.kind, SeriesKind::Hist);
+        let idx = self.idx(at_us);
+        match self
+            .windows
+            .entry(idx)
+            .or_insert_with(|| WindowValue::Hist(LogHist::default()))
+        {
+            WindowValue::Hist(h) => h.observe(x),
+            _ => unreachable!("kind checked at creation"),
+        }
+        self.prune();
+    }
+
+    /// Counter value of the window covering `at_us` (0 when absent).
+    pub fn counter_at(&self, at_us: u64) -> u64 {
+        match self.windows.get(&self.idx(at_us)) {
+            Some(WindowValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value of the window covering `at_us`, if any.
+    pub fn gauge_at(&self, at_us: u64) -> Option<f64> {
+        match self.windows.get(&self.idx(at_us)) {
+            Some(WindowValue::Gauge { value, .. }) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Histogram of the window covering `at_us`, if any.
+    pub fn hist_at(&self, at_us: u64) -> Option<&LogHist> {
+        match self.windows.get(&self.idx(at_us)) {
+            Some(WindowValue::Hist(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Sum of all retained counter windows.
+    pub fn counter_total(&self) -> u64 {
+        self.windows
+            .values()
+            .map(|w| match w {
+                WindowValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The series as `[window_start_us, value]` pairs in window order —
+    /// the deterministic export shape. Counter windows export the count,
+    /// gauge windows the value, histogram windows
+    /// `{count, p50, p99}` (binade-resolution quantiles).
+    pub fn to_json(&self) -> Value {
+        let windows: Vec<Value> = self
+            .windows
+            .iter()
+            .map(|(idx, w)| {
+                let start = idx * self.interval_us;
+                let v = match w {
+                    WindowValue::Counter(c) => json!(*c),
+                    WindowValue::Gauge { value, .. } => json!(*value),
+                    WindowValue::Hist(h) => json!({
+                        "count": h.zeros + h.count() + h.nonfinite,
+                        "p50": h.quantile(0.5).unwrap_or(0.0),
+                        "p99": h.quantile(0.99).unwrap_or(0.0),
+                    }),
+                };
+                json!([start, v])
+            })
+            .collect();
+        json!({
+            "kind": self.kind.name(),
+            "interval_us": self.interval_us,
+            "evicted": self.evicted,
+            "windows": windows,
+        })
+    }
+}
+
+/// A registry of named windowed series, keyed `scope.name` in
+/// deterministic order.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesSet {
+    series: BTreeMap<String, WindowedSeries>,
+}
+
+impl SeriesSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(scope: Scope, name: &str) -> String {
+        format!("{}.{name}", scope.key())
+    }
+
+    fn entry(
+        &mut self,
+        scope: Scope,
+        name: &str,
+        kind: SeriesKind,
+        interval_us: u64,
+        retain: usize,
+    ) -> &mut WindowedSeries {
+        self.series
+            .entry(Self::key(scope, name))
+            .or_insert_with(|| WindowedSeries::new(kind, interval_us, retain))
+    }
+
+    /// Add `delta` to counter `scope.name` at `at_us`.
+    pub fn counter_add(
+        &mut self,
+        scope: Scope,
+        name: &str,
+        at_us: u64,
+        delta: u64,
+        interval_us: u64,
+        retain: usize,
+    ) {
+        self.entry(scope, name, SeriesKind::Counter, interval_us, retain)
+            .counter_add(at_us, delta);
+    }
+
+    /// Set gauge `scope.name` at `at_us`.
+    pub fn gauge_set(
+        &mut self,
+        scope: Scope,
+        name: &str,
+        at_us: u64,
+        value: f64,
+        interval_us: u64,
+        retain: usize,
+    ) {
+        self.entry(scope, name, SeriesKind::Gauge, interval_us, retain)
+            .gauge_set(at_us, value);
+    }
+
+    /// Observe into histogram `scope.name` at `at_us`.
+    pub fn observe(
+        &mut self,
+        scope: Scope,
+        name: &str,
+        at_us: u64,
+        x: f32,
+        interval_us: u64,
+        retain: usize,
+    ) {
+        self.entry(scope, name, SeriesKind::Hist, interval_us, retain)
+            .observe(at_us, x);
+    }
+
+    /// A series by scope + name.
+    pub fn get(&self, scope: Scope, name: &str) -> Option<&WindowedSeries> {
+        self.series.get(&Self::key(scope, name))
+    }
+
+    /// All series in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &WindowedSeries)> {
+        self.series.iter()
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_windows_sum_and_key_by_interval() {
+        let mut s = WindowedSeries::new(SeriesKind::Counter, 100, 16);
+        s.counter_add(10, 1);
+        s.counter_add(99, 2);
+        s.counter_add(100, 5);
+        assert_eq!(s.counter_at(50), 3);
+        assert_eq!(s.counter_at(150), 5);
+        assert_eq!(s.counter_at(250), 0);
+        assert_eq!(s.counter_total(), 8);
+    }
+
+    #[test]
+    fn gauge_latest_timestamp_wins_regardless_of_order() {
+        let mut a = WindowedSeries::new(SeriesKind::Gauge, 100, 16);
+        a.gauge_set(40, 1.0);
+        a.gauge_set(60, 2.0);
+        let mut b = WindowedSeries::new(SeriesKind::Gauge, 100, 16);
+        b.gauge_set(60, 2.0);
+        b.gauge_set(40, 1.0);
+        assert_eq!(a.gauge_at(0), Some(2.0));
+        assert_eq!(a.gauge_at(0), b.gauge_at(0));
+    }
+
+    #[test]
+    fn retention_bounds_window_count() {
+        let mut s = WindowedSeries::new(SeriesKind::Counter, 10, 4);
+        for t in 0..100 {
+            s.counter_add(t * 10, 1);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.evicted(), 96);
+        // Oldest retained window is index 96.
+        assert_eq!(s.counter_at(960), 1);
+        assert_eq!(s.counter_at(0), 0);
+    }
+
+    #[test]
+    fn hist_windows_expose_quantiles() {
+        let mut s = WindowedSeries::new(SeriesKind::Hist, 1000, 8);
+        for _ in 0..10 {
+            s.observe(500, 3.0);
+        }
+        let h = s.hist_at(999).unwrap();
+        assert_eq!(h.count(), 10);
+        let j = s.to_json();
+        assert_eq!(j["kind"], "hist");
+        assert_eq!(j["windows"][0][0], 0.0);
+        assert_eq!(j["windows"][0][1]["count"], 10.0);
+    }
+
+    #[test]
+    fn set_iterates_in_key_order() {
+        let mut set = SeriesSet::new();
+        set.counter_add(Scope::Replica(1), "served", 0, 1, 100, 8);
+        set.counter_add(Scope::Fleet, "arrivals", 0, 1, 100, 8);
+        let keys: Vec<&String> = set.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["fleet.arrivals", "replica1.served"]);
+        assert_eq!(
+            set.get(Scope::Fleet, "arrivals").unwrap().counter_total(),
+            1
+        );
+    }
+}

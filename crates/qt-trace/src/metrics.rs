@@ -70,12 +70,43 @@ impl LogHist {
     /// latency percentiles (a reported p99 is never below the true one).
     /// Returns `None` when nothing has been observed. Non-finite
     /// observations answer `f64::INFINITY`.
+    ///
+    /// The edges are pinned rather than emergent: `q <= 0` answers the
+    /// minimum (0.0 when any zero was seen, else the *lower* edge `2^b`
+    /// of the first occupied binade — the tightest lower bound the
+    /// buckets can state — else `INFINITY` for a purely non-finite
+    /// histogram), and `q >= 1` answers the maximum (`INFINITY` when
+    /// any non-finite was seen, else the upper edge of the last
+    /// occupied binade, else 0.0 for a purely-zeros histogram). `q` is
+    /// clamped to `[0, 1]`; NaN `q` is treated as 0.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         let total = self.zeros + self.count() + self.nonfinite;
         if total == 0 {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        if q <= 0.0 {
+            // Minimum: the smallest observation class present.
+            if self.zeros > 0 {
+                return Some(0.0);
+            }
+            if let Some(i) = self.buckets.iter().position(|&c| c > 0) {
+                let lower = i as i32 + TensorStats::LOG2_LO;
+                return Some(libm::exp2(lower as f64));
+            }
+            return Some(f64::INFINITY);
+        }
+        if q >= 1.0 {
+            // Maximum: the largest observation class present.
+            if self.nonfinite > 0 {
+                return Some(f64::INFINITY);
+            }
+            if let Some(i) = self.buckets.iter().rposition(|&c| c > 0) {
+                let upper = i as i32 + TensorStats::LOG2_LO + 1;
+                return Some(libm::exp2(upper as f64));
+            }
+            return Some(0.0);
+        }
         // 1-based rank of the order statistic the quantile asks for.
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = self.zeros;
@@ -245,6 +276,44 @@ mod tests {
         assert_eq!(h.quantile(1.0), Some(16.0));
         h.observe(f32::INFINITY);
         assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn quantile_edges_are_pinned() {
+        // Empty histogram: every q answers None.
+        let h = LogHist::default();
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+
+        // Single bucket, no zeros: q=0 answers the lower edge, q=1 the
+        // upper edge of that one binade.
+        let mut h = LogHist::default();
+        h.observe(3.0); // binade [2, 4)
+        assert_eq!(h.quantile(0.0), Some(2.0));
+        assert_eq!(h.quantile(0.5), Some(4.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+
+        // Zeros shift the minimum to 0.0 without moving the maximum.
+        h.observe(0.0);
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+
+        // Purely-zeros histogram: both edges are 0.0.
+        let mut z = LogHist::default();
+        z.observe(0.0);
+        assert_eq!(z.quantile(0.0), Some(0.0));
+        assert_eq!(z.quantile(1.0), Some(0.0));
+
+        // Purely non-finite histogram: both edges are +inf.
+        let mut n = LogHist::default();
+        n.observe(f32::NAN);
+        assert_eq!(n.quantile(0.0), Some(f64::INFINITY));
+        assert_eq!(n.quantile(1.0), Some(f64::INFINITY));
+
+        // Out-of-range and NaN q clamp instead of misbehaving.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
     }
 
     #[test]
