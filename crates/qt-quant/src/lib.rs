@@ -26,6 +26,7 @@
 mod format;
 mod fusion;
 mod guard;
+mod qgemm;
 mod quantizer;
 mod scaling;
 mod scheme;
@@ -33,6 +34,9 @@ mod scheme;
 pub use format::ElemFormat;
 pub use fusion::{FusionLevel, OpClass, OpSet};
 pub use guard::{HealthWindow, NonFinitePolicy, QuantError, TensorHealth};
+pub use qgemm::{
+    matmul_codes, matmul_product_lut, PackedCodesB, PackedQuantB, ProductLut, QuantizedTensor,
+};
 pub use qt_posit::UnderflowPolicy;
 pub use quantizer::FakeQuant;
 pub use scaling::{AmaxTracker, ScalingMode};

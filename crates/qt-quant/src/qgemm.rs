@@ -1,0 +1,525 @@
+//! Code-domain GEMM: multiply straight from stored quantization codes.
+//!
+//! The paper's datapath keeps every operand as 8-bit codes with shared
+//! scales; the f32 tensors this repo carries are only a simulation
+//! vehicle. This module closes the gap for the GEMM hot path:
+//!
+//! - [`QuantizedTensor`] holds a tensor as its stored bit codes
+//!   ([`ElemFormat::encode_code`] words — what accelerator SRAM holds);
+//! - [`PackedQuantB`] decodes a weight matrix **once** per pack, via a
+//!   `2^bits` direct-index decode table, straight into the blocked
+//!   `KC × NR` panel layout of [`qt_tensor::gemm::PackedB`] — no full
+//!   f32 weight materialization per call, and the pack is reusable
+//!   across forwards (the per-site weight-pack cache in qt-transformer);
+//! - [`matmul_codes`] drives the shared SIMD-dispatched blocked GEMM
+//!   over a pre-packed weight;
+//! - [`ProductLut`] + [`matmul_product_lut`] go further for pairs of
+//!   ≤ 8-bit formats (posit8, E4M3, …): a `2^16`-entry table of all
+//!   `decode(a) · decode(b)` products lets the inner loop accumulate
+//!   `i8 × i8 → f32` products by table lookup, with no decode at all.
+//!
+//! # Bitwise-identity contract
+//!
+//! Both paths produce outputs **bit-identical** to dequantizing and
+//! calling [`Tensor::matmul`] (asserted by tests, not assumed):
+//!
+//! - decode ∘ encode is the identity on every value a [`FakeQuant`]
+//!   emits, except that a `-0.0` grid value may decode as `+0.0` — and
+//!   zeros are skip-gated identically on both sides, so no output bit
+//!   can differ;
+//! - each [`ProductLut`] entry is the *single* IEEE rounding of
+//!   `decode(a) · decode(b)`, exactly the `mul` the f32 kernel performs;
+//! - tiling, accumulation order (`k` ascending per element), and the
+//!   row-finite-gated zero skip are shared with the f32 engine.
+
+use crate::format::ElemFormat;
+use crate::quantizer::FakeQuant;
+use qt_tensor::gemm::{self, PackedB, KC, MC, NR};
+use qt_tensor::Tensor;
+
+/// A tensor stored as quantization codes: the format, the shape, and one
+/// `u16` storage word per element (only the low [`ElemFormat::bits`] bits
+/// are meaningful).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedTensor {
+    format: ElemFormat,
+    shape: Vec<usize>,
+    codes: Vec<u16>,
+}
+
+impl QuantizedTensor {
+    /// Wrap raw codes. `codes.len()` must match the shape's element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element count mismatches or the format is `Fp32`
+    /// (a carrier, not a storage format).
+    pub fn new(format: ElemFormat, shape: &[usize], codes: Vec<u16>) -> Self {
+        assert!(
+            format != ElemFormat::Fp32,
+            "Fp32 is a carrier, not a storage format"
+        );
+        let count: usize = shape.iter().product();
+        assert_eq!(codes.len(), count, "codes do not fill shape {shape:?}");
+        Self {
+            format,
+            shape: shape.to_vec(),
+            codes,
+        }
+    }
+
+    /// The storage format of the codes.
+    pub fn format(&self) -> ElemFormat {
+        self.format
+    }
+
+    /// The logical tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The stored code words, row-major.
+    pub fn codes(&self) -> &[u16] {
+        &self.codes
+    }
+
+    /// Decode back to the f32 values the datapath computes with.
+    pub fn dequantize(&self) -> Tensor {
+        let lut = DecodeLut::new(self.format);
+        let data: Vec<f32> = self.codes.iter().map(|&c| lut.get(c)).collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+}
+
+/// Direct-index decode table: `table[code]` = the f32 the code decodes
+/// to. `2^bits` entries (≤ 256 KiB even for the 16-bit formats), built
+/// once per pack / LUT construction.
+struct DecodeLut {
+    table: Vec<f32>,
+    mask: u16,
+}
+
+impl DecodeLut {
+    fn new(format: ElemFormat) -> Self {
+        let bits = format.bits();
+        assert!(bits <= 16, "decode LUT needs a storage format");
+        let table: Vec<f32> = (0..1u32 << bits)
+            .map(|c| format.decode_code(c as u16).expect("storage format"))
+            .collect();
+        Self {
+            table,
+            mask: ((1u32 << bits) - 1) as u16,
+        }
+    }
+
+    #[inline]
+    fn get(&self, code: u16) -> f32 {
+        self.table[(code & self.mask) as usize]
+    }
+}
+
+impl FakeQuant {
+    /// Quantize to stored codes: round each element onto the grid (the
+    /// exact [`FakeQuant::quantize_scalar`] path, including underflow and
+    /// non-finite policies) and encode the resulting grid value. `None`
+    /// for `Fp32`, which has no storage code.
+    pub fn quantize_to_codes(&self, t: &Tensor) -> Option<QuantizedTensor> {
+        if self.format() == ElemFormat::Fp32 {
+            return None;
+        }
+        let fmt = self.format();
+        // Fixed chunking: the decomposition is thread-count-invariant.
+        let chunks = qt_par::parallel_map_slices(t.data(), 8 * 1024, |_, _, xs| {
+            xs.iter()
+                .map(|&x| {
+                    fmt.encode_code(self.quantize_scalar(x))
+                        .expect("non-Fp32 format encodes")
+                })
+                .collect::<Vec<u16>>()
+        });
+        let mut codes = Vec::with_capacity(t.len());
+        for c in chunks {
+            codes.extend(c);
+        }
+        Some(QuantizedTensor::new(fmt, t.shape(), codes))
+    }
+}
+
+/// A 2-D weight matrix decoded once from codes into the blocked panel
+/// layout the SIMD microkernels consume. Build it once per weight
+/// version; every forward then multiplies without touching the codes or
+/// materializing an f32 weight tensor.
+pub struct PackedQuantB {
+    format: ElemFormat,
+    pack: PackedB,
+}
+
+impl PackedQuantB {
+    /// Decode-and-pack a `[k, n]` quantized matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not 2-D.
+    pub fn pack(w: &QuantizedTensor) -> Self {
+        assert_eq!(w.shape().len(), 2, "weight pack needs a 2-D matrix");
+        let (k, n) = (w.shape()[0], w.shape()[1]);
+        let lut = DecodeLut::new(w.format());
+        let codes = w.codes();
+        let pack = PackedB::pack_with(k, n, |kk, row| {
+            for (slot, &c) in row.iter_mut().zip(&codes[kk * n..(kk + 1) * n]) {
+                *slot = lut.get(c);
+            }
+        });
+        Self {
+            format: w.format(),
+            pack,
+        }
+    }
+
+    /// The code format this pack was decoded from.
+    pub fn format(&self) -> ElemFormat {
+        self.format
+    }
+
+    /// Contraction depth (`k`).
+    pub fn k(&self) -> usize {
+        self.pack.k()
+    }
+
+    /// Output width (`n`).
+    pub fn n(&self) -> usize {
+        self.pack.n()
+    }
+
+    /// Resident bytes (pack-cache accounting).
+    pub fn bytes(&self) -> usize {
+        self.pack.bytes()
+    }
+
+    /// The underlying f32 panel pack.
+    pub fn pack_ref(&self) -> &PackedB {
+        &self.pack
+    }
+}
+
+/// Multiply `x` (`[..., m, k]`, f32 carrier — typically fake-quantized
+/// activations) by a pre-packed quantized weight (`[k, n]`), producing
+/// `[..., m, n]`. All leading axes share the weight, so they flatten
+/// into one row dimension and parallelize over MC-row blocks through
+/// the shared backend-dispatched engine.
+///
+/// Bitwise-identical to `x.matmul(&w.dequantize())` at any thread count
+/// and backend.
+///
+/// # Panics
+///
+/// Panics if `x` has fewer than 2 axes or its last axis is not `w.k()`.
+pub fn matmul_codes(x: &Tensor, w: &PackedQuantB) -> Tensor {
+    assert!(x.ndim() >= 2, "matmul_codes lhs must be at least 2-D");
+    let k = x.shape()[x.ndim() - 1];
+    assert_eq!(
+        k,
+        w.k(),
+        "matmul_codes contraction mismatch: {:?} x [{}, {}]",
+        x.shape(),
+        w.k(),
+        w.n()
+    );
+    let n = w.n();
+    let rows: usize = x.shape()[..x.ndim() - 1].iter().product();
+    let mut out_shape = x.shape()[..x.ndim() - 1].to_vec();
+    out_shape.push(n);
+    let mut out = Tensor::zeros(&out_shape);
+    if rows == 0 || n == 0 || k == 0 {
+        return out;
+    }
+    gemm::gemm_prepacked(x.data(), rows, k, n, w.pack_ref(), out.data_mut());
+    out
+}
+
+/// All `decode(a) · decode(b)` products of two ≤ 8-bit formats, each a
+/// single IEEE f32 rounding: 2^16 entries, 256 KiB. Indexed
+/// `(a_code << 8) | b_code`.
+pub struct ProductLut {
+    a_format: ElemFormat,
+    b_format: ElemFormat,
+    table: Vec<f32>,
+    /// `a_zero[code]`: the code decodes to ±0.0 (skip-gate, matching the
+    /// f32 kernels' `av == 0.0` test).
+    a_zero: Vec<bool>,
+}
+
+impl ProductLut {
+    /// Build the product table. `None` unless both formats store in at
+    /// most 8 bits (posit8 variants, E4M3, E5M2 — the paper's edge
+    /// formats; 9- and 16-bit formats would need a 2^18+ table and use
+    /// the panel-decode path instead).
+    pub fn new(a_format: ElemFormat, b_format: ElemFormat) -> Option<Self> {
+        if a_format.bits() > 8 || b_format.bits() > 8 {
+            return None;
+        }
+        let da = DecodeLut::new(a_format);
+        let db = DecodeLut::new(b_format);
+        let mut table = vec![0.0f32; 1 << 16];
+        for ac in 0..256u16 {
+            let av = da.get(ac);
+            for bc in 0..256u16 {
+                // One rounding: identical bits to the kernel's `av * bv`.
+                table[((ac as usize) << 8) | bc as usize] = av * db.get(bc);
+            }
+        }
+        let a_zero: Vec<bool> = (0..256u16).map(|c| da.get(c) == 0.0).collect();
+        Some(Self {
+            a_format,
+            b_format,
+            table,
+            a_zero,
+        })
+    }
+
+    /// LHS format.
+    pub fn a_format(&self) -> ElemFormat {
+        self.a_format
+    }
+
+    /// RHS format.
+    pub fn b_format(&self) -> ElemFormat {
+        self.b_format
+    }
+
+    /// The product `decode(a) · decode(b)`.
+    #[inline]
+    pub fn product(&self, a: u16, b: u16) -> f32 {
+        self.table[(((a & 0xFF) as usize) << 8) | (b & 0xFF) as usize]
+    }
+}
+
+/// A `[k, n]` weight held as *codes* in the blocked tile layout (same
+/// `tile_offsets` geometry as [`PackedB`]) for the product-LUT path,
+/// plus the row-finite flags that gate the zero skip.
+pub struct PackedCodesB {
+    format: ElemFormat,
+    codes: Vec<u16>,
+    tile_off: Vec<usize>,
+    row_finite: Vec<bool>,
+    njb: usize,
+    k: usize,
+    n: usize,
+}
+
+impl PackedCodesB {
+    /// Tile a 2-D quantized matrix's codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not 2-D.
+    pub fn pack(w: &QuantizedTensor) -> Self {
+        assert_eq!(w.shape().len(), 2, "weight pack needs a 2-D matrix");
+        let (k, n) = (w.shape()[0], w.shape()[1]);
+        let lut = DecodeLut::new(w.format());
+        let src = w.codes();
+        let (tile_off, njb) = gemm::tile_offsets(k, n);
+        let mut codes = vec![0u16; k * n];
+        let mut row_finite = vec![false; k];
+        for kk in 0..k {
+            let row = &src[kk * n..(kk + 1) * n];
+            row_finite[kk] = row.iter().all(|&c| lut.get(c).is_finite());
+            let panel = kk / KC;
+            let kloc = kk - panel * KC;
+            for (jb, j0) in (0..n).step_by(NR).enumerate() {
+                let nr = NR.min(n - j0);
+                let dst = tile_off[panel * njb + jb] + kloc * nr;
+                codes[dst..dst + nr].copy_from_slice(&row[j0..j0 + nr]);
+            }
+        }
+        Self {
+            format: w.format(),
+            codes,
+            tile_off,
+            row_finite,
+            njb,
+            k,
+            n,
+        }
+    }
+
+    /// The code format.
+    pub fn format(&self) -> ElemFormat {
+        self.format
+    }
+
+    /// Contraction depth (`k`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width (`n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn tile(&self, panel: usize, jb: usize, kc: usize, nr: usize) -> &[u16] {
+        let off = self.tile_off[panel * self.njb + jb];
+        &self.codes[off..off + kc * nr]
+    }
+}
+
+/// Multiply quantized activations (`[..., m, k]` codes) by a code-tiled
+/// weight (`[k, n]`), accumulating `decode(a) · decode(b)` products
+/// fetched from the 2^16 [`ProductLut`] — the inner loop never decodes
+/// an operand. Leading axes flatten into rows as in [`matmul_codes`].
+///
+/// Bitwise-identical to `a.dequantize().matmul(&w.dequantize())`
+/// (shared tiling, ascending-`k` accumulation, and the same
+/// finite-gated zero skip; each table entry is the same single-rounded
+/// product the f32 kernel computes).
+///
+/// # Panics
+///
+/// Panics if shapes or formats disagree with the LUT.
+pub fn matmul_product_lut(a: &QuantizedTensor, w: &PackedCodesB, lut: &ProductLut) -> Tensor {
+    assert!(a.shape().len() >= 2, "product-LUT lhs must be at least 2-D");
+    assert_eq!(a.format(), lut.a_format(), "LHS format != LUT a-format");
+    assert_eq!(w.format(), lut.b_format(), "RHS format != LUT b-format");
+    let nd = a.shape().len();
+    let k = a.shape()[nd - 1];
+    assert_eq!(
+        k,
+        w.k(),
+        "product-LUT contraction mismatch: {:?} x [{}, {}]",
+        a.shape(),
+        w.k(),
+        w.n()
+    );
+    let n = w.n();
+    let rows: usize = a.shape()[..nd - 1].iter().product();
+    let mut out_shape = a.shape()[..nd - 1].to_vec();
+    out_shape.push(n);
+    let mut out = Tensor::zeros(&out_shape);
+    if rows == 0 || n == 0 || k == 0 {
+        return out;
+    }
+    let acodes = a.codes();
+    let row_blocks = rows.div_ceil(MC);
+    let part_lens: Vec<usize> = (0..row_blocks)
+        .map(|rb| MC.min(rows - rb * MC) * n)
+        .collect();
+    gemm::run_parts(out.data_mut(), &part_lens, rows * k * n, |rb, opart| {
+        let i0 = rb * MC;
+        let nrows = MC.min(rows - i0);
+        for (panel, k0) in (0..k).step_by(KC).enumerate() {
+            let kc = KC.min(k - k0);
+            for (jb, j0) in (0..n).step_by(NR).enumerate() {
+                let nr = NR.min(n - j0);
+                let tile = w.tile(panel, jb, kc, nr);
+                let finite = &w.row_finite[k0..k0 + kc];
+                for r in 0..nrows {
+                    let arow = &acodes[(i0 + r) * k + k0..(i0 + r) * k + k0 + kc];
+                    let orow = &mut opart[r * n + j0..r * n + j0 + nr];
+                    for (kk, &ac) in arow.iter().enumerate() {
+                        if lut.a_zero[(ac & 0xFF) as usize] && finite[kk] {
+                            continue;
+                        }
+                        let base = ((ac & 0xFF) as usize) << 8;
+                        let brow = &tile[kk * nr..(kk + 1) * nr];
+                        for (ov, &bc) in orow.iter_mut().zip(brow) {
+                            *ov += lut.table[base | (bc & 0xFF) as usize];
+                        }
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FORMATS_8BIT: [ElemFormat; 5] = [
+        ElemFormat::P8E0,
+        ElemFormat::P8E1,
+        ElemFormat::P8E2,
+        ElemFormat::E4M3,
+        ElemFormat::E5M2,
+    ];
+
+    fn messy_tensor(shape: &[usize], salt: usize) -> Tensor {
+        let count: usize = shape.iter().product();
+        let data: Vec<f32> = (0..count)
+            .map(|i| {
+                let m = ((i + salt) * 2654435761) & 0xffff;
+                if m.is_multiple_of(9) {
+                    0.0
+                } else {
+                    ((m as f32) - 32768.0) * 1.7f32.powi((m % 11) as i32 - 5) * 1e-3
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    #[test]
+    fn decode_encode_round_trips_quantizer_output() {
+        for fmt in [
+            ElemFormat::P8E1,
+            ElemFormat::E4M3,
+            ElemFormat::E5M3,
+            ElemFormat::P16E1,
+            ElemFormat::Bf16,
+        ] {
+            let fq = FakeQuant::new(fmt);
+            let t = messy_tensor(&[64], 7);
+            let q = fq.quantize(&t);
+            let codes = fq.quantize_to_codes(&t).unwrap();
+            let back = codes.dequantize();
+            for (i, (&a, &b)) in q.data().iter().zip(back.data()).enumerate() {
+                // Exact bits, except -0.0 may decode as +0.0.
+                if a == 0.0 && b == 0.0 {
+                    continue;
+                }
+                assert_eq!(a.to_bits(), b.to_bits(), "{fmt} elem {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_codes_matches_dequantized_matmul() {
+        for fmt in [ElemFormat::P8E1, ElemFormat::E4M3, ElemFormat::P16E1] {
+            let fq = FakeQuant::new(fmt);
+            let x = fq.quantize(&messy_tensor(&[2, 5, 33], 1));
+            let wq = fq.quantize_to_codes(&messy_tensor(&[33, 17], 2)).unwrap();
+            let packed = PackedQuantB::pack(&wq);
+            let got = matmul_codes(&x, &packed);
+            let want = x.matmul(&wq.dequantize());
+            assert_eq!(got.shape(), &[2, 5, 17]);
+            for (g, w) in got.data().iter().zip(want.data()) {
+                assert_eq!(g.to_bits(), w.to_bits(), "{fmt}");
+            }
+        }
+    }
+
+    #[test]
+    fn product_lut_matches_dequantized_matmul() {
+        for fmt in FORMATS_8BIT {
+            let fq = FakeQuant::new(fmt);
+            let a = fq.quantize_to_codes(&messy_tensor(&[3, 40], 3)).unwrap();
+            let w = fq.quantize_to_codes(&messy_tensor(&[40, 9], 4)).unwrap();
+            let lut = ProductLut::new(fmt, fmt).unwrap();
+            let packed = PackedCodesB::pack(&w);
+            let got = matmul_product_lut(&a, &packed, &lut);
+            let want = a.dequantize().matmul(&w.dequantize());
+            for (g, v) in got.data().iter().zip(want.data()) {
+                assert_eq!(g.to_bits(), v.to_bits(), "{fmt}");
+            }
+        }
+    }
+
+    #[test]
+    fn product_lut_rejects_wide_formats() {
+        assert!(ProductLut::new(ElemFormat::P16E1, ElemFormat::P8E1).is_none());
+        assert!(ProductLut::new(ElemFormat::E4M3, ElemFormat::E5M3).is_none());
+    }
+}

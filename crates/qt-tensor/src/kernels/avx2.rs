@@ -1,0 +1,70 @@
+//! 8-lane AVX2 microkernel.
+//!
+//! For the common full tile (`nr == NR == 64`) the whole output row lives
+//! in eight `ymm` accumulators across the entire `k` loop — one load and
+//! one store per output element per *tile*, not per `k` step. Partial
+//! tiles fall back to a load/add/store sweep per `k` plus a scalar tail.
+//!
+//! Both paths vectorize columns only and use `vmulps` + `vaddps` (two
+//! separate IEEE roundings, never FMA), so each output element sees the
+//! same ascending-`k` mul-then-add sequence as the scalar kernel:
+//! bitwise-identical by construction, asserted by tests.
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::gemm::NR;
+
+/// See [`super::MicroKernel`] for the contract.
+///
+/// Safe wrapper: the dispatcher only hands this kernel out after
+/// `is_x86_feature_detected!("avx2")` succeeded.
+pub fn kernel(arow: &[f32], tile: &[f32], finite: &[bool], acc: &mut [f32; NR], nr: usize) {
+    debug_assert!(is_x86_feature_detected!("avx2"));
+    // SAFETY: dispatch verified AVX2; slices are bounds-checked by the
+    // contract (tile is [kc][nr], finite is [kc], nr <= NR).
+    unsafe { kernel_impl(arow, tile, finite, acc, nr) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn kernel_impl(arow: &[f32], tile: &[f32], finite: &[bool], acc: &mut [f32; NR], nr: usize) {
+    use std::arch::x86_64::*;
+    if nr == NR {
+        // Register-blocked fast path: NR/8 = 8 accumulators stay live.
+        let mut v = [_mm256_setzero_ps(); NR / 8];
+        for (i, vi) in v.iter_mut().enumerate() {
+            *vi = _mm256_loadu_ps(acc.as_ptr().add(i * 8));
+        }
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 && finite[kk] {
+                continue;
+            }
+            let a = _mm256_set1_ps(av);
+            let brow = tile.as_ptr().add(kk * NR);
+            for (i, vi) in v.iter_mut().enumerate() {
+                let b = _mm256_loadu_ps(brow.add(i * 8));
+                *vi = _mm256_add_ps(*vi, _mm256_mul_ps(a, b));
+            }
+        }
+        for (i, vi) in v.iter().enumerate() {
+            _mm256_storeu_ps(acc.as_mut_ptr().add(i * 8), *vi);
+        }
+    } else {
+        let nv = nr / 8;
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 && finite[kk] {
+                continue;
+            }
+            let a = _mm256_set1_ps(av);
+            let brow = tile.as_ptr().add(kk * nr);
+            let out = acc.as_mut_ptr();
+            for i in 0..nv {
+                let p = out.add(i * 8);
+                let b = _mm256_loadu_ps(brow.add(i * 8));
+                _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), _mm256_mul_ps(a, b)));
+            }
+            for (j, aj) in acc[nv * 8..nr].iter_mut().enumerate() {
+                *aj += av * *brow.add(nv * 8 + j);
+            }
+        }
+    }
+}

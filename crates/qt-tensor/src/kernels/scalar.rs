@@ -1,0 +1,21 @@
+//! Portable reference microkernel: the bitwise ground truth every SIMD
+//! backend is asserted against. This is the exact inner loop the blocked
+//! GEMM shipped with before the backend split.
+
+use crate::gemm::NR;
+
+/// See [`super::MicroKernel`] for the contract.
+pub fn kernel(arow: &[f32], tile: &[f32], finite: &[bool], acc: &mut [f32; NR], nr: usize) {
+    for (kk, &av) in arow.iter().enumerate() {
+        // Skipping is only sound when the B row is all-finite: IEEE says
+        // 0 × ∞ and 0 × NaN are NaN, and hiding that would mask poisoned
+        // weights behind sparse activations.
+        if av == 0.0 && finite[kk] {
+            continue;
+        }
+        let brow = &tile[kk * nr..(kk + 1) * nr];
+        for (ov, &bv) in acc[..nr].iter_mut().zip(brow) {
+            *ov += av * bv;
+        }
+    }
+}

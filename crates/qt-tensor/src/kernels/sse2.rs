@@ -1,0 +1,44 @@
+//! 4-lane SSE2 microkernel.
+//!
+//! Vectorizes the column (`j`) loop only; the `k` loop stays scalar so
+//! each output element still accumulates in ascending-`k` order, and
+//! `mulps` + `addps` keep the two separate roundings of the scalar
+//! kernel (no FMA contraction). Bitwise-identical to [`super::scalar`].
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::gemm::NR;
+
+/// See [`super::MicroKernel`] for the contract.
+///
+/// Safe wrapper: the dispatcher only hands this kernel out when SSE2 is
+/// available (guaranteed on x86-64, but checked anyway).
+pub fn kernel(arow: &[f32], tile: &[f32], finite: &[bool], acc: &mut [f32; NR], nr: usize) {
+    debug_assert!(is_x86_feature_detected!("sse2"));
+    // SAFETY: SSE2 is a baseline x86-64 feature; slices are bounds-checked
+    // by the contract (tile is [kc][nr], finite is [kc], nr <= NR).
+    unsafe { kernel_impl(arow, tile, finite, acc, nr) }
+}
+
+#[target_feature(enable = "sse2")]
+unsafe fn kernel_impl(arow: &[f32], tile: &[f32], finite: &[bool], acc: &mut [f32; NR], nr: usize) {
+    use std::arch::x86_64::*;
+    let nv = nr / 4;
+    for (kk, &av) in arow.iter().enumerate() {
+        if av == 0.0 && finite[kk] {
+            continue;
+        }
+        let a = _mm_set1_ps(av);
+        let brow = tile.as_ptr().add(kk * nr);
+        let arow_out = acc.as_mut_ptr();
+        for i in 0..nv {
+            let p = arow_out.add(i * 4);
+            let b = _mm_loadu_ps(brow.add(i * 4));
+            // mul then add: two roundings, identical to the scalar loop.
+            _mm_storeu_ps(p, _mm_add_ps(_mm_loadu_ps(p), _mm_mul_ps(a, b)));
+        }
+        for (j, aj) in acc[nv * 4..nr].iter_mut().enumerate() {
+            *aj += av * *brow.add(nv * 4 + j);
+        }
+    }
+}

@@ -28,12 +28,15 @@
 
 #![warn(missing_docs)]
 
+pub mod gemm;
+pub mod kernels;
 mod linalg;
 mod reduce;
 mod shape;
 mod stats;
 mod tensor;
 
+pub use kernels::GemmBackend;
 pub use shape::broadcast_shapes;
 pub use stats::TensorStats;
 pub use tensor::Tensor;

@@ -1,103 +1,17 @@
 //! Matrix multiplication, transposition, permutation.
 //!
-//! The GEMM is a cache-blocked, B-panel-packed kernel (MC×KC×NR tiling,
-//! f32 accumulate) parallelized across `batch × row-block` units. Every
-//! output element accumulates its `k` terms in ascending order regardless
-//! of blocking or thread count, so results are bitwise-deterministic —
-//! and bitwise-identical to the reference i-k-j loop.
+//! The GEMM engine itself — packing, tiling, microkernel dispatch, and
+//! the parallel driver — lives in [`crate::gemm`] (with the per-backend
+//! inner loops in [`crate::kernels`]); this module provides the
+//! batched/broadcasting [`Tensor::matmul`] front end on top of it.
+//! Results are bitwise-deterministic at any thread count and identical
+//! across all kernel backends.
 
+use std::collections::BTreeMap;
+
+use crate::gemm::{gemm_block, run_parts, PackedB, MC};
 use crate::shape::strides_of;
 use crate::tensor::Tensor;
-
-/// Rows of `A`/`O` per parallel unit.
-const MC: usize = 32;
-/// Contraction-panel depth: one packed `KC × NR` B tile is ~32 KiB.
-const KC: usize = 128;
-/// Output-column tile width (the microkernel's register block).
-const NR: usize = 64;
-/// Below this many MACs the whole GEMM runs on the calling thread without
-/// touching the parallel layer (shape-based, so the decision — and the
-/// `par.chunk_tasks` counter — is identical at every thread count).
-const PAR_MIN_MACS: usize = 64 * 1024;
-
-/// `rhs` repacked for the microkernel: per KC-panel, per NR-column tile, a
-/// contiguous `[kc][nr]` block, plus a per-`k`-row all-finite flag that
-/// gates the `a == 0` skip (skipping a row holding NaN/±∞ would hide the
-/// IEEE `0 × ∞ = NaN`).
-struct PackedB {
-    data: Vec<f32>,
-    /// Start of tile `(panel, jb)` in `data`, indexed `panel * njb + jb`.
-    tile_off: Vec<usize>,
-    /// `finite[kk]`: every element of B row `kk` is finite.
-    row_finite: Vec<bool>,
-    njb: usize,
-}
-
-impl PackedB {
-    fn pack(b: &[f32], bb: usize, k: usize, n: usize) -> Self {
-        let row_finite: Vec<bool> = (0..k)
-            .map(|kk| b[bb + kk * n..bb + (kk + 1) * n].iter().all(|v| v.is_finite()))
-            .collect();
-        let npanels = k.div_ceil(KC);
-        let njb = n.div_ceil(NR);
-        let mut data = Vec::with_capacity(k * n);
-        let mut tile_off = Vec::with_capacity(npanels * njb);
-        for k0 in (0..k).step_by(KC) {
-            let kc = KC.min(k - k0);
-            for j0 in (0..n).step_by(NR) {
-                let nr = NR.min(n - j0);
-                tile_off.push(data.len());
-                for kk in 0..kc {
-                    let row = bb + (k0 + kk) * n + j0;
-                    data.extend_from_slice(&b[row..row + nr]);
-                }
-            }
-        }
-        Self {
-            data,
-            tile_off,
-            row_finite,
-            njb,
-        }
-    }
-
-    #[inline]
-    fn tile(&self, panel: usize, jb: usize, kc: usize, nr: usize) -> &[f32] {
-        let off = self.tile_off[panel * self.njb + jb];
-        &self.data[off..off + kc * nr]
-    }
-}
-
-/// The microkernel: accumulate `rows` rows of one batch's product into
-/// `o` (shape `[rows, n]`, covering A rows `i0..i0+rows`). For each
-/// output element the `k` terms are added in ascending order — panels and
-/// column tiles only re-tile the loop nest, never the accumulation order.
-fn gemm_block(a: &[f32], i0: usize, rows: usize, k: usize, n: usize, pack: &PackedB, o: &mut [f32]) {
-    for (panel, k0) in (0..k).step_by(KC).enumerate() {
-        let kc = KC.min(k - k0);
-        for (jb, j0) in (0..n).step_by(NR).enumerate() {
-            let nr = NR.min(n - j0);
-            let tile = pack.tile(panel, jb, kc, nr);
-            let finite = &pack.row_finite[k0..k0 + kc];
-            for r in 0..rows {
-                let arow = &a[(i0 + r) * k + k0..(i0 + r) * k + k0 + kc];
-                let orow = &mut o[r * n + j0..r * n + j0 + nr];
-                let mut acc = [0.0f32; NR];
-                acc[..nr].copy_from_slice(orow);
-                for (kk, &av) in arow.iter().enumerate() {
-                    if av == 0.0 && finite[kk] {
-                        continue;
-                    }
-                    let brow = &tile[kk * nr..(kk + 1) * nr];
-                    for (ov, &bv) in acc[..nr].iter_mut().zip(brow) {
-                        *ov += av * bv;
-                    }
-                }
-                orow.copy_from_slice(&acc[..nr]);
-            }
-        }
-    }
-}
 
 impl Tensor {
     /// Batched matrix multiplication.
@@ -151,24 +65,25 @@ impl Tensor {
         let b = rhs.data();
 
         // Pack B once per distinct batch offset (broadcast batches share
-        // one pack), outside the parallel region.
+        // one pack), outside the parallel region. Offset → pack index via
+        // a BTreeMap: O(B log B) over the batch instead of the former
+        // O(B²) linear rescan, and iteration order (hence pack order)
+        // stays deterministic.
         let mut pack_of = vec![0usize; batch_count];
         let mut packs: Vec<PackedB> = Vec::new();
-        let mut seen: Vec<(usize, usize)> = Vec::new(); // (offset, pack idx)
+        let mut seen: BTreeMap<usize, usize> = BTreeMap::new(); // offset → pack idx
         for (bi, &bb) in offs_b.iter().enumerate() {
-            let idx = match seen.iter().find(|(off, _)| *off == bb) {
-                Some(&(_, idx)) => idx,
-                None => {
-                    packs.push(PackedB::pack(b, bb, kb, n));
-                    seen.push((bb, packs.len() - 1));
-                    packs.len() - 1
-                }
-            };
+            let idx = *seen.entry(bb).or_insert_with(|| {
+                packs.push(PackedB::pack(b, bb, kb, n));
+                packs.len() - 1
+            });
             pack_of[bi] = idx;
         }
 
         // One parallel unit per (batch, MC-row block); units tile the
-        // output contiguously, in order.
+        // output contiguously, in order. The backend (and so the kernel
+        // pointer) is resolved once per matmul on the issuing thread.
+        let kernel = crate::kernels::active().kernel();
         let row_blocks = m.div_ceil(MC);
         let mut part_lens = Vec::with_capacity(batch_count * row_blocks);
         for _ in 0..batch_count {
@@ -181,20 +96,19 @@ impl Tensor {
             let rb = u % row_blocks;
             let i0 = rb * MC;
             let rows = MC.min(m - i0);
-            gemm_block(&a[offs_a[bi]..], i0, rows, ka, n, &packs[pack_of[bi]], opart);
+            gemm_block(
+                &a[offs_a[bi]..],
+                i0,
+                rows,
+                ka,
+                n,
+                &packs[pack_of[bi]],
+                opart,
+                kernel,
+            );
         };
 
-        let o = out.data_mut();
-        if batch_count * m * ka * n < PAR_MIN_MACS {
-            let mut rest = o;
-            for (u, &len) in part_lens.iter().enumerate() {
-                let (head, tail) = rest.split_at_mut(len);
-                unit(u, head);
-                rest = tail;
-            }
-        } else {
-            qt_par::parallel_for_parts_mut(o, &part_lens, |u, _off, opart| unit(u, opart));
-        }
+        run_parts(out.data_mut(), &part_lens, batch_count * m * ka * n, unit);
         out
     }
 

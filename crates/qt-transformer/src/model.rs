@@ -441,7 +441,7 @@ impl Builder<'_> {
                 self.qctx.gemm_span(site, lead.iter().product(), k, n);
             }
         }
-        let y = self.tape.matmul(xq, w);
+        let y = self.qctx.matmul_q(self.tape, xq, w, site);
         let b = self.p(b_name);
         self.tape.add(y, b)
     }
@@ -515,7 +515,9 @@ impl Builder<'_> {
             self.qctx
                 .gemm_span(&format!("{prefix}.scores"), batch * nh * q_seq, dh, kv_seq);
         }
-        let raw = self.tape.matmul(qq, kq);
+        let raw = self
+            .qctx
+            .matmul_q(self.tape, qq, kq, &format!("{prefix}.scores"));
 
         // attention scaling site: the paper's most sensitive input (§4)
         let raw_q = self.qctx.cut(
@@ -553,7 +555,9 @@ impl Builder<'_> {
             self.qctx
                 .gemm_span(&format!("{prefix}.ctx"), batch * nh * q_seq, kv_seq, dh);
         }
-        let ctx = self.tape.matmul(pq, vq);
+        let ctx = self
+            .qctx
+            .matmul_q(self.tape, pq, vq, &format!("{prefix}.ctx"));
 
         // [B, nh, S, dh] -> [B, S, H], output projection
         let merged = self.tape.permute(ctx, &[0, 2, 1, 3]);
@@ -711,7 +715,7 @@ impl Builder<'_> {
                             .gemm_span("head.lm", lead.iter().product(), k, self.model.cfg.vocab);
                     }
                 }
-                self.tape.matmul(hq, wt)
+                self.qctx.matmul_q(self.tape, hq, wt, "head.lm")
             }
         }
     }

@@ -5,13 +5,30 @@
 
 use proptest::prelude::*;
 use qt_posit::UnderflowPolicy;
-use qt_quant::{ElemFormat, FakeQuant};
+use qt_quant::{
+    matmul_codes, matmul_product_lut, ElemFormat, FakeQuant, PackedCodesB, PackedQuantB,
+    ProductLut,
+};
+use qt_tensor::kernels::{with_backend, GemmBackend, ALL_BACKENDS};
 use qt_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
 
 /// Dimension set the GEMM sweep draws from: unit, odd, prime-ish, and a
 /// multiple of every tile parameter.
 const DIMS: [usize; 4] = [1, 3, 17, 64];
+
+/// All quantized formats the code-domain path stores (everything but
+/// Fp32).
+const QFORMATS: [ElemFormat; 8] = [
+    ElemFormat::P8E0,
+    ElemFormat::P8E1,
+    ElemFormat::P8E2,
+    ElemFormat::P16E1,
+    ElemFormat::E4M3,
+    ElemFormat::E5M2,
+    ElemFormat::E5M3,
+    ElemFormat::Bf16,
+];
 
 proptest! {
     #[test]
@@ -30,16 +47,86 @@ proptest! {
     }
 
     #[test]
+    fn gemm_backends_bitwise_equal(
+        mi in 0usize..5, ki in 0usize..5, ni in 0usize..5, seed in 0u64..1 << 32
+    ) {
+        // Backend axis of the determinism contract: every SIMD microkernel
+        // must reproduce the scalar reference bit-for-bit, including empty
+        // dimensions, at pool sizes 1 and 4.
+        const EDIMS: [usize; 5] = [0, 1, 3, 17, 64];
+        let (m, k, n) = (EDIMS[mi], EDIMS[ki], EDIMS[ni]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let reference = with_backend(GemmBackend::Scalar, || qt_par::serial(|| a.matmul(&b)));
+        for be in ALL_BACKENDS {
+            if !be.available() {
+                continue;
+            }
+            for t in [1usize, 4] {
+                let out = with_backend(be, || qt_par::with_threads(t, || a.matmul(&b)));
+                prop_assert_eq!(
+                    out.data(), reference.data(),
+                    "m={} k={} n={} backend={} t={}", m, k, n, be.name(), t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn code_domain_matches_f32_across_backends(
+        fi in 0usize..8, bi in 0usize..2, seed in 0u64..1 << 32
+    ) {
+        // The code-domain GEMM (weights stored as quantized codes, decoded
+        // panel-by-panel) must equal dequantize-then-matmul bit-for-bit,
+        // for every storage format, every backend, batched or not.
+        let fmt = QFORMATS[fi];
+        let batched = bi == 1;
+        let fq = FakeQuant::new(fmt);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xshape: &[usize] = if batched { &[2, 9, 33] } else { &[9, 33] };
+        let x = fq.quantize(&Tensor::randn(xshape, &mut rng));
+        let w = Tensor::randn(&[33, 17], &mut rng);
+        let wq = fq.quantize_to_codes(&w).expect("quantized format");
+        let pack = PackedQuantB::pack(&wq);
+        let reference = with_backend(GemmBackend::Scalar, || {
+            qt_par::serial(|| x.matmul(&wq.dequantize()))
+        });
+        for be in ALL_BACKENDS {
+            if !be.available() {
+                continue;
+            }
+            for t in [1usize, 4] {
+                let out =
+                    with_backend(be, || qt_par::with_threads(t, || matmul_codes(&x, &pack)));
+                prop_assert_eq!(out.shape(), reference.shape());
+                prop_assert_eq!(
+                    out.data(), reference.data(),
+                    "{:?} backend={} t={} batched={}", fmt, be.name(), t, batched
+                );
+            }
+        }
+    }
+
+    #[test]
     fn batched_broadcast_matmul_deterministic(seed in 0u64..1 << 32) {
         // Broadcast batch (B shared across the batch axis) exercises the
         // pack-reuse path; batch × row-block units split the output.
         let mut rng = StdRng::seed_from_u64(seed);
         let a = Tensor::randn(&[3, 64, 17], &mut rng);
         let b = Tensor::randn(&[17, 64], &mut rng);
-        let reference = qt_par::serial(|| a.matmul(&b));
+        let reference = with_backend(GemmBackend::Scalar, || qt_par::serial(|| a.matmul(&b)));
         for t in [2, 4, 8] {
             let out = qt_par::with_threads(t, || a.matmul(&b));
             prop_assert_eq!(out.data(), reference.data(), "t={}", t);
+        }
+        // And across backends at a fixed pool size.
+        for be in ALL_BACKENDS {
+            if !be.available() {
+                continue;
+            }
+            let out = with_backend(be, || qt_par::with_threads(4, || a.matmul(&b)));
+            prop_assert_eq!(out.data(), reference.data(), "backend={}", be.name());
         }
     }
 
@@ -125,6 +212,64 @@ fn lut_matches_reference_on_all_bf16_spaced_inputs() {
     }
 }
 
+/// Every cell of the 2^16-entry product LUT must hold exactly the bits
+/// of `decode(a) * decode(b)` — one IEEE rounding, same as the kernel
+/// multiply — and its zero-skip flags must mirror the kernels' `av == 0`
+/// test, for every 8-bit storage format (9-bit E5M3 is rejected by
+/// `ProductLut::new` — covered in qt-quant's tests). Exhaustive: all
+/// 256 × 256 code pairs per format.
+#[test]
+fn product_lut_matches_reference_exhaustively() {
+    for fmt in [
+        ElemFormat::P8E0,
+        ElemFormat::P8E1,
+        ElemFormat::P8E2,
+        ElemFormat::E4M3,
+        ElemFormat::E5M2,
+    ] {
+        let lut = ProductLut::new(fmt, fmt).expect("8-bit format");
+        let ncodes = 1u32 << fmt.bits();
+        for a in 0..ncodes as u16 {
+            let Some(av) = fmt.decode_code(a) else {
+                continue;
+            };
+            for b in 0..ncodes as u16 {
+                let Some(bv) = fmt.decode_code(b) else {
+                    continue;
+                };
+                let got = lut.product(a, b);
+                let want = av * bv;
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{fmt:?} codes ({a}, {b}): {got:e} vs {want:e}"
+                );
+            }
+        }
+    }
+}
+
+/// The full product-LUT GEMM must equal the dequantized f32 GEMM
+/// bit-for-bit (both operands quantized), per 8-bit format.
+#[test]
+fn product_lut_gemm_matches_dequantized_gemm() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for fmt in [ElemFormat::P8E1, ElemFormat::E4M3] {
+        let fq = FakeQuant::new(fmt);
+        let a = Tensor::randn(&[9, 33], &mut rng);
+        let b = Tensor::randn(&[33, 17], &mut rng);
+        let aq = fq.quantize_to_codes(&a).expect("8-bit");
+        let wq = fq.quantize_to_codes(&b).expect("8-bit");
+        let pack = PackedCodesB::pack(&wq);
+        let lut = ProductLut::new(fmt, fmt).expect("8-bit");
+        let reference = qt_par::serial(|| aq.dequantize().matmul(&wq.dequantize()));
+        for t in [1usize, 4] {
+            let out = qt_par::with_threads(t, || matmul_product_lut(&aq, &pack, &lut));
+            assert_eq!(out.data(), reference.data(), "{fmt:?} t={t}");
+        }
+    }
+}
+
 /// The counter feeding the `par.chunk_tasks` metric must not depend on
 /// the pool size — chunk decomposition is a function of the workload.
 #[test]
@@ -157,24 +302,69 @@ fn env_named_kernels_json_validates() {
     let text = std::fs::read_to_string(&path).expect("BENCH_kernels.json readable");
     let v: serde_json::Value = serde_json::from_str(&text).expect("BENCH_kernels.json parses");
     assert_eq!(v["bench"].as_str(), Some("perf_kernels"));
-    assert!(v["version"].as_u64().is_some());
+    assert_eq!(v["schema"].as_str(), Some("qt-bench/kernels/v2"));
+    assert_eq!(v["version"].as_u64(), Some(2));
     assert!(matches!(v["mode"].as_str(), Some("quick") | Some("full")));
     assert!(v["threads_available"].as_u64().unwrap_or(0) >= 1);
     let sweep = v["sweep"].as_array().expect("sweep array");
     assert!(!sweep.is_empty());
-    for section in ["gemm", "quantize"] {
-        let rows = v[section].as_array().unwrap_or_else(|| panic!("{section} array"));
-        assert!(!rows.is_empty(), "{section} rows");
-        for row in rows {
-            let ms = row["ms"].as_object().unwrap_or_else(|| panic!("{section}.ms"));
-            assert_eq!(ms.len(), sweep.len(), "{section}: one timing per sweep point");
-            for (k, t) in ms {
-                assert!(t.as_f64().unwrap_or(-1.0) >= 0.0, "{section}.ms.{k}");
+    let backends: Vec<&str> = v["backends"]
+        .as_array()
+        .expect("backends array")
+        .iter()
+        .map(|b| b.as_str().expect("backend name"))
+        .collect();
+    assert!(backends.contains(&"scalar"), "scalar backend always present");
+    let check_ms = |ms: &serde_json::Value, what: &str| {
+        let ms = ms.as_object().unwrap_or_else(|| panic!("{what} ms map"));
+        assert_eq!(ms.len(), sweep.len(), "{what}: one timing per sweep point");
+        for (k, t) in ms {
+            assert!(t.as_f64().unwrap_or(-1.0) >= 0.0, "{what}.{k}");
+        }
+    };
+    // GEMM rows: f32/code carry a per-backend timing matrix, lut a plain
+    // pool-size map.
+    let gemm = v["gemm"].as_array().expect("gemm array");
+    assert!(!gemm.is_empty(), "gemm rows");
+    for row in gemm {
+        let domain = row["domain"].as_str().expect("gemm row domain");
+        match domain {
+            "f32" | "code" => {
+                let per = row["backend"].as_object().expect("backend matrix");
+                assert_eq!(per.len(), backends.len(), "one column per backend");
+                for (bname, ms) in per {
+                    assert!(backends.contains(&bname.as_str()), "unknown backend {bname}");
+                    check_ms(ms, &format!("gemm[{domain}].{bname}"));
+                }
             }
+            "lut" => check_ms(&row["ms"], "gemm[lut]"),
+            other => panic!("unknown gemm domain {other:?}"),
         }
     }
-    assert_eq!(v["forward"]["deterministic"].as_bool(), Some(true));
-    assert!(v["forward"]["perplexity"].as_f64().unwrap_or(-1.0) > 0.0);
+    // Trajectory: the tracked perf history plus the current speedup.
+    let traj = &v["trajectory"];
+    assert!(
+        traj["speedup_best_vs_scalar"].as_f64().unwrap_or(-1.0) > 0.0,
+        "trajectory speedup"
+    );
+    let history = traj["history"].as_array().expect("trajectory history");
+    assert!(!history.is_empty(), "history never empty after a run");
+    for h in history {
+        assert!(h["speedup_best_vs_scalar"].as_f64().unwrap_or(-1.0) > 0.0);
+        assert!(matches!(h["mode"].as_str(), Some("quick") | Some("full")));
+    }
+    assert!(traj["per_shape"].as_array().is_some_and(|p| !p.is_empty()));
+    // quantize + forward are skipped under --gemm-only.
+    let gemm_only = v["gemm_only"].as_bool() == Some(true);
+    if gemm_only {
+        assert_eq!(v["forward"], serde_json::Value::Null, "--gemm-only writes no forward row");
+    } else {
+        for row in v["quantize"].as_array().expect("quantize array") {
+            check_ms(&row["ms"], "quantize");
+        }
+        assert_eq!(v["forward"]["deterministic"].as_bool(), Some(true));
+        assert!(v["forward"]["perplexity"].as_f64().unwrap_or(-1.0) > 0.0);
+    }
 }
 
 /// Owned (in-place) quantization must agree with the borrowed path.
