@@ -1,0 +1,70 @@
+//! Adaptive control plane for the serving fleet.
+//!
+//! Three coordinated defenses, all pure state machines on a **virtual**
+//! microsecond clock — no wall time, no randomness, no I/O — so every
+//! decision replays byte-identically inside the discrete-event fleet
+//! simulation at any `QT_THREADS` pool size:
+//!
+//! - [`CodelController`]: CoDel-style adaptive admission control. Sheds
+//!   from the *head* of the queue when sojourn time stays above target
+//!   for a full interval, spacing drops by `interval / √count` so the
+//!   drop rate ramps with the persistence of the standing queue.
+//! - [`BrownoutLadder`]: a priority-tiered degradation ladder
+//!   ([`Brownout`]) that trades precision and background work for
+//!   paid-tier availability *before* shedding paid traffic, with
+//!   hysteresis so the fleet climbs one rung at a time and only steps
+//!   down after sustained calm.
+//! - [`GrayDetector`]: per-replica latency outlier detection (windowed
+//!   p99 vs. fleet median) that ejects slow-but-alive replicas into the
+//!   breaker's half-open rejoin path, with consecutive-window hysteresis
+//!   so flapping replicas re-earn eligibility.
+//! - [`AutoscalePolicy`]: queue-pressure-driven scale up/down with a
+//!   modeled cold-start delay, reusing the fleet's snapshot-recovery
+//!   lifecycle as the scale-up substrate.
+//!
+//! The crate is zero-dependency by design: everything here is decision
+//! logic; the fleet owns the signals (queue depths, attempt latencies)
+//! and the actuators (shedding, forced breaker opens, replica
+//! lifecycle).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod autoscale;
+mod brownout;
+mod codel;
+mod gray;
+
+pub use autoscale::{AutoscaleConfig, AutoscalePolicy, ScaleDecision};
+pub use brownout::{Brownout, BrownoutConfig, BrownoutLadder, BrownoutTransition, PriorityTier};
+pub use codel::{CodelConfig, CodelController, CodelDecision};
+pub use gray::{GrayConfig, GrayDetector, GrayEvent};
+
+/// Integer square root (floor), used wherever CoDel-style control-law
+/// math must be bit-exact across platforms — `f64::sqrt` would be too,
+/// but an integer law keeps the determinism contract self-evident.
+pub(crate) fn isqrt(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let mut x = n / 2 + 1;
+    let mut y = (x + n / x) / 2;
+    while y < x {
+        x = y;
+        y = (x + n / x) / 2;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::isqrt;
+
+    #[test]
+    fn isqrt_matches_float_sqrt_floor() {
+        for n in 0..10_000u64 {
+            assert_eq!(isqrt(n), (n as f64).sqrt() as u64, "n={n}");
+        }
+        assert_eq!(isqrt(u64::MAX), (1u64 << 32) - 1);
+    }
+}

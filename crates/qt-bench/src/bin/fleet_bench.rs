@@ -47,13 +47,36 @@
 //! * `--expect-alerts` / `--expect-no-alerts` — CI assertions on the
 //!   burn-rate alert count across all policies
 //!
+//! Adaptive control plane (qt-adapt) — off unless requested:
+//!
+//! * `--adapt-interval-ms M` — control-tick width (defaults to 50 ms
+//!   once any adapt flag is given); arming the plane also arms the
+//!   gray-failure detector
+//! * `--brownout` — CoDel admission control plus the priority-tiered
+//!   brownout ladder
+//! * `--autoscale MIN:MAX` — queue-driven autoscaling over the band
+//! * `--gray-slow-factor ID:FROM_MS:FACTOR` — inject a gray failure:
+//!   replica ID silently slows by FACTOR× from FROM_MS on (repeatable)
+//! * `--expect-brownout`, `--expect-scale-up`, `--expect-gray-eject`,
+//!   `--expect-adapt-quiet` — CI assertions on the adaptive surface
+//!
+//! With the plane armed the run also writes `BENCH_adapt.json`
+//! (schema `qt-adapt/bench/v1`): ladder walk, shed/drop/ejection/scale
+//! counters, and per-priority-tier availability for every policy.
+//!
+//! Arrival streams are decorrelated across policies: each policy run
+//! draws its request stream from a splitmix64 seed derived from the
+//! base seed and the policy name, so cross-policy comparisons are not
+//! accidentally synchronized to one arrival pattern.
+//!
 //! With `--trace-out`/`--manifest-out`, artifacts are suffixed per
 //! policy (`trace_health_aware.json`, ...) and carry the telemetry
 //! span trees and alert instants.
 //!
-//! Identical seed and flags ⇒ byte-identical `BENCH_fleet.json` and
-//! `BENCH_telemetry.json`.
+//! Identical seed and flags ⇒ byte-identical `BENCH_fleet.json`,
+//! `BENCH_telemetry.json`, and `BENCH_adapt.json`.
 
+use qt_adapt::{AutoscaleConfig, BrownoutConfig, CodelConfig, GrayConfig};
 use qt_fleet::{
     audit_unflagged_corruption, run_fleet_observed, ArrivalShape, DirSnapStore, FleetConfig,
     FleetLoadSpec, FleetReport, ReplicaSpec, RouterPolicy,
@@ -62,6 +85,62 @@ use qt_quant::ElemFormat;
 use qt_robust::{BerFaultSource, CodeFormat, CrashSchedule, FaultSource, NoFaults};
 use qt_transformer::{Model, TaskHead, TransformerConfig};
 use rand::{rngs::StdRng, SeedableRng};
+
+/// splitmix64 step — the standard seed-spreading finalizer.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-policy arrival seed: fold the policy name into the base seed so
+/// each policy replays an independent (but reproducible) user stream.
+fn policy_seed(base: u64, name: &str) -> u64 {
+    let mut x = base;
+    for b in name.bytes() {
+        x = splitmix64(x ^ u64::from(b));
+    }
+    splitmix64(x)
+}
+
+/// Per-priority-tier offered/served/availability breakdown, mirroring
+/// `qt_adapt::PriorityTier::of_user` (user % 4: 0,1 paid; 2 best
+/// effort; 3 batch).
+fn tier_doc(report: &FleetReport) -> serde_json::Value {
+    let mut offered = [0u64; 3];
+    let mut served = [0u64; 3];
+    for r in &report.responses {
+        let t = match r.user % 4 {
+            0 | 1 => 0,
+            2 => 1,
+            _ => 2,
+        };
+        offered[t] += 1;
+        if r.outcome.is_served() {
+            served[t] += 1;
+        }
+    }
+    let avail = |i: usize| {
+        if offered[i] == 0 {
+            1.0
+        } else {
+            served[i] as f64 / offered[i] as f64
+        }
+    };
+    let tier = |i: usize| {
+        serde_json::json!({
+            "offered": offered[i],
+            "served": served[i],
+            "availability": avail(i),
+        })
+    };
+    serde_json::json!({
+        "paid": tier(0),
+        "best_effort": tier(1),
+        "batch": tier(2),
+    })
+}
 
 fn main() {
     let opts = qt_bench::Opts::parse();
@@ -92,6 +171,14 @@ fn main() {
     let mut flight_cap = 256usize;
     let mut expect_alerts = false;
     let mut expect_no_alerts = false;
+    let mut adapt_interval_ms = 0u64;
+    let mut brownout_flag = false;
+    let mut autoscale: Option<(usize, usize)> = None;
+    let mut gray_slow: Vec<(usize, u64, u64)> = Vec::new();
+    let mut expect_brownout = false;
+    let mut expect_scale_up = false;
+    let mut expect_gray_eject = false;
+    let mut expect_adapt_quiet = false;
 
     let mut it = opts.extra.iter();
     while let Some(a) = it.next() {
@@ -226,8 +313,52 @@ fn main() {
             }
             "--expect-alerts" => expect_alerts = true,
             "--expect-no-alerts" => expect_no_alerts = true,
+            "--adapt-interval-ms" => {
+                if let Some(v) = it.next() {
+                    adapt_interval_ms = v.parse().unwrap_or(adapt_interval_ms);
+                }
+            }
+            "--brownout" => brownout_flag = true,
+            "--autoscale" => {
+                if let Some(v) = it.next() {
+                    let parts: Vec<&str> = v.split(':').collect();
+                    if let [lo, hi] = parts.as_slice() {
+                        if let (Ok(lo), Ok(hi)) = (lo.parse::<usize>(), hi.parse::<usize>()) {
+                            autoscale = Some((lo.max(1), hi.max(lo.max(1))));
+                        }
+                    }
+                }
+            }
+            "--gray-slow-factor" => {
+                if let Some(v) = it.next() {
+                    let parts: Vec<&str> = v.split(':').collect();
+                    if let [id, from, factor] = parts.as_slice() {
+                        if let (Ok(id), Ok(from), Ok(factor)) = (
+                            id.parse::<usize>(),
+                            from.parse::<u64>(),
+                            factor.parse::<u64>(),
+                        ) {
+                            gray_slow.push((id, from, factor));
+                        }
+                    }
+                }
+            }
+            "--expect-brownout" => expect_brownout = true,
+            "--expect-scale-up" => expect_scale_up = true,
+            "--expect-gray-eject" => expect_gray_eject = true,
+            "--expect-adapt-quiet" => expect_adapt_quiet = true,
             other => eprintln!("ignoring unknown argument {other:?}"),
         }
+    }
+
+    // Any adapt flag arms the control plane (and with it the gray
+    // detector); the tick interval defaults to 50 ms when unset.
+    let adapt_on = brownout_flag
+        || autoscale.is_some()
+        || !gray_slow.is_empty()
+        || adapt_interval_ms > 0;
+    if adapt_on && adapt_interval_ms == 0 {
+        adapt_interval_ms = 50;
     }
 
     let model_cfg = TransformerConfig::mobilebert_tiny_sim();
@@ -269,8 +400,14 @@ fn main() {
             )
         };
         spec = spec.with_crashes(sched);
+        for &(id, from_ms, factor) in &gray_slow {
+            if id == r {
+                spec = spec.with_gray_slowdown(from_ms * 1_000, factor);
+            }
+        }
         specs.push(spec);
     }
+    let autoscale = autoscale.map(|(lo, hi)| (lo.min(n_replicas), hi.min(n_replicas)));
     let crashed_ids: Vec<usize> = specs
         .iter()
         .enumerate()
@@ -305,7 +442,10 @@ fn main() {
         },
         _ => ArrivalShape::Diurnal { trough_ratio: 0.3 },
     };
-    let spec = FleetLoadSpec {
+    // Requests are generated per policy with a policy-derived seed so
+    // the streams are decorrelated; count and arrival times depend only
+    // on (rps, shape, duration), so the offered load stays comparable.
+    let load_spec = |arrival_seed: u64| FleetLoadSpec {
         rps,
         duration_us,
         shape: arrival_shape,
@@ -314,13 +454,11 @@ fn main() {
         tenants,
         deadline_us: deadline_ms.saturating_mul(1_000),
         seq,
-        seed: opts.seed,
+        seed: arrival_seed,
     };
-    let requests = spec.requests(vocab);
     eprintln!(
-        "[fleet_bench] {} requests at {rps} rps ({shape}) over {duration_s}s across {} users, \
+        "[fleet_bench] {rps} rps ({shape}) over {duration_s}s across {} users, \
          {n_replicas} replicas, deadline {deadline_ms} ms, ber {ber:e}, {} scheduled outages",
-        requests.len(),
         users,
         crashes.len()
     );
@@ -360,7 +498,15 @@ fn main() {
     let mut telemetry_docs: Vec<serde_json::Value> = Vec::new();
     let mut total_alert_fires = 0u64;
     let mut reports: Vec<(RouterPolicy, FleetReport, u64)> = Vec::new();
+    let mut adapt_docs: Vec<serde_json::Value> = Vec::new();
     for policy in policies {
+        let arrival_seed = policy_seed(opts.seed, policy.name());
+        let requests = load_spec(arrival_seed).requests(vocab);
+        eprintln!(
+            "[fleet_bench] {}: {} requests (arrival seed {arrival_seed:#018x})",
+            policy.name(),
+            requests.len()
+        );
         let cfg = FleetConfig {
             replicas: specs.clone(),
             policy,
@@ -370,6 +516,15 @@ fn main() {
             hedge,
             snapshot_every_us: snapshot_ms * 1_000,
             retry_seed: opts.seed,
+            adapt_every_us: adapt_interval_ms * 1_000,
+            codel: brownout_flag.then(CodelConfig::default),
+            brownout: brownout_flag.then(BrownoutConfig::default),
+            gray: adapt_on.then(GrayConfig::default),
+            autoscale: autoscale.map(|(lo, hi)| AutoscaleConfig {
+                min_replicas: lo,
+                max_replicas: hi,
+                ..AutoscaleConfig::default()
+            }),
         };
         let snap_dir = opts.out_dir.join(format!("fleet_snaps_{}", policy.name()));
         let popts = opts.scoped(policy.name());
@@ -405,6 +560,27 @@ fn main() {
         let mut doc = report.to_json();
         if let serde_json::Value::Object(map) = &mut doc {
             map.insert("unflagged_corrupt".into(), serde_json::json!(unflagged));
+            map.insert("arrival_seed".into(), serde_json::json!(arrival_seed));
+        }
+        if adapt_on {
+            adapt_docs.push(serde_json::json!({
+                "policy": policy.name(),
+                "arrival_seed": arrival_seed,
+                "brownout_peak": report.brownout_peak.clone(),
+                "codel_drops": report.codel_drops,
+                "brownout_sheds": report.brownout_sheds,
+                "shed_overload": report.shed_overload,
+                "economy_served": report.economy_served,
+                "gray_ejections": report.gray_ejections,
+                "scale_ups": report.scale_ups,
+                "scale_downs": report.scale_downs,
+                "tiers": tier_doc(&report),
+                "events": report
+                    .adapt_events
+                    .iter()
+                    .map(|e| e.to_json())
+                    .collect::<Vec<_>>(),
+            }));
         }
 
         // Telemetry artifacts: per-policy scoreboard section plus the
@@ -478,6 +654,82 @@ fn main() {
         eprintln!("[fleet_bench] smoke invariants hold");
     }
 
+    if expect_brownout {
+        for (policy, report, _) in &reports {
+            assert!(
+                report.brownout_sheds > 0,
+                "{}: --expect-brownout: the ladder never shed",
+                policy.name()
+            );
+            assert_ne!(
+                report.brownout_peak, "normal",
+                "{}: --expect-brownout: the ladder never left Normal",
+                policy.name()
+            );
+            // Rung changes must walk one severity step at a time.
+            let mut sev = 0i64;
+            for e in report
+                .adapt_events
+                .iter()
+                .filter(|e| e.kind.starts_with("brownout"))
+            {
+                let d = e.detail as i64;
+                assert_eq!(
+                    (d - sev).abs(),
+                    1,
+                    "{}: brownout ladder must move one rung per tick",
+                    policy.name()
+                );
+                sev = d;
+            }
+        }
+        eprintln!("[fleet_bench] brownout ladder engaged, as expected");
+    }
+    if expect_scale_up {
+        for (policy, report, _) in &reports {
+            assert!(
+                report.scale_ups >= 1,
+                "{}: --expect-scale-up: no replica was booted",
+                policy.name()
+            );
+            assert!(
+                report.adapt_events.iter().any(|e| e.kind == "scale_up_done"),
+                "{}: --expect-scale-up: boot never completed",
+                policy.name()
+            );
+        }
+        eprintln!("[fleet_bench] autoscaler booted reserve capacity, as expected");
+    }
+    if expect_gray_eject {
+        for (policy, report, _) in &reports {
+            assert!(
+                report.gray_ejections >= 1,
+                "{}: --expect-gray-eject: the slow replica was never ejected",
+                policy.name()
+            );
+        }
+        eprintln!("[fleet_bench] gray replica ejected, as expected");
+    }
+    if expect_adapt_quiet {
+        for (policy, report, _) in &reports {
+            assert_eq!(
+                report.brownout_peak,
+                "normal",
+                "{}: --expect-adapt-quiet: ladder moved on a healthy run",
+                policy.name()
+            );
+            assert_eq!(
+                report.shed_overload + report.codel_drops + report.gray_ejections
+                    + report.scale_ups
+                    + report.scale_downs,
+                0,
+                "{}: --expect-adapt-quiet: adaptive plane acted on a healthy run",
+                policy.name()
+            );
+        }
+        eprintln!("[fleet_bench] adaptive plane stayed quiet on healthy traffic, as expected");
+    }
+
     let doc = serde_json::json!({
         "schema": "qt-fleet/bench/v1",
         "bench": "fleet_bench",
@@ -526,6 +778,31 @@ fn main() {
     qt_ckpt::atomic_write_str(&tel_path, &tel_text).expect("write BENCH_telemetry.json");
     eprintln!("[fleet_bench] wrote {}", tel_path.display());
 
+    // Adaptive-plane scoreboard — only when the plane is armed.
+    if adapt_on {
+        let adapt_doc = serde_json::json!({
+            "schema": "qt-adapt/bench/v1",
+            "bench": "fleet_bench",
+            "seed": opts.seed,
+            "adapt_interval_ms": adapt_interval_ms,
+            "brownout": brownout_flag,
+            "autoscale": autoscale
+                .map_or(serde_json::Value::Null, |(lo, hi)| serde_json::json!([lo, hi])),
+            "gray_slowdowns": gray_slow
+                .iter()
+                .map(|&(id, from_ms, factor)| serde_json::json!({
+                    "replica": id, "from_ms": from_ms, "factor": factor,
+                }))
+                .collect::<Vec<_>>(),
+            "policies": adapt_docs,
+        });
+        let adapt_path = opts.out_dir.join("BENCH_adapt.json");
+        let mut adapt_text = serde_json::to_string_pretty(&adapt_doc).expect("serializable");
+        adapt_text.push('\n');
+        qt_ckpt::atomic_write_str(&adapt_path, &adapt_text).expect("write BENCH_adapt.json");
+        eprintln!("[fleet_bench] wrote {}", adapt_path.display());
+    }
+
     if expect_alerts {
         assert!(
             total_alert_fires > 0,
@@ -542,7 +819,8 @@ fn main() {
     }
 
     // Quick textual comparison table for humans.
-    println!("fleet_bench (seed {}, {} requests)", opts.seed, requests.len());
+    let offered = reports.first().map_or(0, |(_, r, _)| r.responses.len());
+    println!("fleet_bench (seed {}, {offered} requests/policy)", opts.seed);
     println!(
         "  {:<14} {:>8} {:>8} {:>8} {:>10} {:>8} {:>10} {:>10}",
         "policy", "goodput", "shed", "miss", "failovers", "hedges", "p50 ms", "p99 ms"

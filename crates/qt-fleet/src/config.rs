@@ -1,9 +1,23 @@
 //! Fleet configuration: per-replica shape and fleet-wide policy.
 
 use crate::router::RouterPolicy;
+use qt_adapt::{AutoscaleConfig, BrownoutConfig, CodelConfig, GrayConfig};
 use qt_quant::ElemFormat;
 use qt_robust::CrashSchedule;
 use qt_serve::{BreakerPolicy, RetryPolicy};
+
+/// A scripted gray failure: from `from_us` on, every service attempt on
+/// this replica runs `factor`× slow — while the replica keeps passing
+/// every health gate (numerics fine, breaker closed, crash schedule
+/// clean). Routing still uses the replica's *nominal* speed, exactly the
+/// blind spot that makes gray failures dangerous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraySlowdown {
+    /// Virtual onset time, µs.
+    pub from_us: u64,
+    /// Service-time multiplier (≥ 1).
+    pub factor: u64,
+}
 
 /// Everything that makes one replica what it is: its storage format,
 /// its speed, its local admission shape, and its failure schedule.
@@ -30,6 +44,8 @@ pub struct ReplicaSpec {
     pub breaker: BreakerPolicy,
     /// Crash/restart schedule (empty = never crashes).
     pub crashes: CrashSchedule,
+    /// Scripted gray failure (None = always nominal speed).
+    pub gray_slowdown: Option<GraySlowdown>,
 }
 
 impl ReplicaSpec {
@@ -48,12 +64,22 @@ impl ReplicaSpec {
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
             crashes: CrashSchedule::none(),
+            gray_slowdown: None,
         }
     }
 
     /// Attach a crash schedule.
     pub fn with_crashes(mut self, crashes: CrashSchedule) -> Self {
         self.crashes = crashes;
+        self
+    }
+
+    /// Attach a scripted gray failure.
+    pub fn with_gray_slowdown(mut self, from_us: u64, factor: u64) -> Self {
+        self.gray_slowdown = Some(GraySlowdown {
+            from_us,
+            factor: factor.max(1),
+        });
         self
     }
 
@@ -94,6 +120,19 @@ pub struct FleetConfig {
     pub snapshot_every_us: u64,
     /// Master seed for retry-backoff jitter streams.
     pub retry_seed: u64,
+    /// Adaptive control plane evaluation period, virtual µs (0 = the
+    /// whole plane is off regardless of the knobs below).
+    pub adapt_every_us: u64,
+    /// CoDel admission control over queue sojourn time.
+    pub codel: Option<CodelConfig>,
+    /// Priority-tiered brownout ladder.
+    pub brownout: Option<BrownoutConfig>,
+    /// Gray-failure (latency outlier) ejection.
+    pub gray: Option<GrayConfig>,
+    /// Queue-driven autoscaling. When set, only
+    /// [`AutoscaleConfig::min_replicas`] replicas start active; the rest
+    /// are held in reserve until pressure boots them.
+    pub autoscale: Option<AutoscaleConfig>,
 }
 
 impl Default for FleetConfig {
@@ -107,6 +146,11 @@ impl Default for FleetConfig {
             hedge: true,
             snapshot_every_us: 100_000,
             retry_seed: 0xf1ee7,
+            adapt_every_us: 0,
+            codel: None,
+            brownout: None,
+            gray: None,
+            autoscale: None,
         }
     }
 }

@@ -25,6 +25,12 @@
 //!   one tenant's burst sheds its own overflow.
 //! - **Load** ([`load`]) — synthetic diurnal/bursty open-loop arrivals
 //!   over a million-user population.
+//! - **Adaptation** ([`sim`] + [`qt_adapt`]) — an optional control
+//!   plane ticking on the virtual clock: CoDel head-drop admission, a
+//!   priority-tiered brownout ladder, windowed-p99 gray-failure
+//!   ejection (with probe-gated rejoin), and queue-pressure autoscaling
+//!   that boots reserves through the snapshot-recovery path. Every
+//!   decision lands in the [`report::AdaptEvent`] audit trail.
 //!
 //! Everything runs in a single-threaded discrete-event simulation on a
 //! virtual microsecond clock; the forward passes inside run on the real
@@ -43,11 +49,11 @@ pub mod router;
 pub mod sim;
 pub mod tenant;
 
-pub use config::{FleetConfig, ReplicaSpec};
+pub use config::{FleetConfig, GraySlowdown, ReplicaSpec};
 pub use load::{ArrivalShape, FleetLoadSpec, FleetRequest};
 pub use replica::{DirSnapStore, MemSnapStore, Replica, ReplicaStats, SnapStore};
 pub use report::{
-    Dispatch, DispatchCause, FleetOutcome, FleetReport, FleetResponse, ReplicaReport,
+    AdaptEvent, Dispatch, DispatchCause, FleetOutcome, FleetReport, FleetResponse, ReplicaReport,
 };
 pub use router::{ReplicaView, Router, RouterPolicy};
 pub use sim::{audit_unflagged_corruption, run_fleet, run_fleet_observed, Fleet};

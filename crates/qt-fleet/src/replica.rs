@@ -40,6 +40,9 @@ pub struct ReplicaStats {
     pub snapshot_corrupt: u64,
     /// High-water mark of the local admission queue.
     pub max_queue_depth: u64,
+    /// Times the adaptive control plane ejected this replica as a gray
+    /// (slow-but-alive) failure.
+    pub gray_ejections: u64,
 }
 
 /// One serving replica.

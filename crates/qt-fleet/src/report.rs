@@ -25,6 +25,9 @@ pub enum FleetOutcome {
     /// Shed at admission or re-route: no replica was eligible (down,
     /// breaker Open, or excluded).
     ShedNoReplica,
+    /// Shed by the adaptive control plane: the brownout ladder rejected
+    /// this tier at admission, or CoDel head-dropped it at pickup.
+    ShedOverload,
     /// The deadline's block budget ran out before a clean response
     /// existed anywhere in the fleet.
     DeadlineMiss,
@@ -39,6 +42,7 @@ impl FleetOutcome {
             FleetOutcome::ShedQueueFull => "shed_queue_full",
             FleetOutcome::ShedQuota => "shed_quota",
             FleetOutcome::ShedNoReplica => "shed_no_replica",
+            FleetOutcome::ShedOverload => "shed_overload",
             FleetOutcome::DeadlineMiss => "deadline_miss",
         }
     }
@@ -55,7 +59,10 @@ impl FleetOutcome {
     pub fn is_shed(self) -> bool {
         matches!(
             self,
-            FleetOutcome::ShedQueueFull | FleetOutcome::ShedQuota | FleetOutcome::ShedNoReplica
+            FleetOutcome::ShedQueueFull
+                | FleetOutcome::ShedQuota
+                | FleetOutcome::ShedNoReplica
+                | FleetOutcome::ShedOverload
         )
     }
 }
@@ -147,6 +154,38 @@ pub struct FleetResponse {
     pub latency_us: u64,
 }
 
+/// One decision the adaptive control plane made during the run —
+/// brownout rung changes, gray ejections/rejoins, and scale events, in
+/// virtual-time order. The audit trail the adapt invariants (monotone
+/// ladder walk, deterministic ejection) are checked against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptEvent {
+    /// Virtual time of the decision, µs.
+    pub at_us: u64,
+    /// Stable kind label: `brownout_up`, `brownout_down`, `gray_eject`,
+    /// `gray_rejoin`, `scale_up_start`, `scale_up_done`,
+    /// `scale_down_start`, `scale_down_done`.
+    pub kind: &'static str,
+    /// Replica the decision targeted (None for fleet-wide decisions).
+    pub replica: Option<usize>,
+    /// Kind-specific magnitude: destination rung severity for brownout
+    /// moves, p99/median ratio for ejections, active-replica count after
+    /// the move for scale events.
+    pub detail: f64,
+}
+
+impl AdaptEvent {
+    /// The event as JSON.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "at_us": self.at_us,
+            "kind": self.kind,
+            "replica": self.replica.map_or(Value::Null, |r| Value::from(r as u64)),
+            "detail": self.detail,
+        })
+    }
+}
+
 /// Per-replica section of the fleet report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplicaReport {
@@ -183,6 +222,7 @@ impl ReplicaReport {
             "snapshot_resumes": self.stats.snapshot_resumes,
             "snapshot_corrupt": self.stats.snapshot_corrupt,
             "max_queue_depth": self.stats.max_queue_depth,
+            "gray_ejections": self.stats.gray_ejections,
             "breaker_trips": self.breaker_trips,
             "final_breaker": self.final_breaker.name(),
         })
@@ -206,6 +246,8 @@ pub struct FleetReport {
     pub shed_quota: u64,
     /// Shed: no eligible replica.
     pub shed_no_replica: u64,
+    /// Shed by the adaptive control plane (brownout + CoDel).
+    pub shed_overload: u64,
     /// Deadline misses.
     pub deadline_miss: u64,
     /// Fleet-level failovers (corrupt + crash).
@@ -234,6 +276,24 @@ pub struct FleetReport {
     pub dispatches: Vec<Dispatch>,
     /// Every response, sorted by request id.
     pub responses: Vec<FleetResponse>,
+    /// Of `shed_overload`, sheds decided by CoDel head drops at pickup.
+    pub codel_drops: u64,
+    /// Of `shed_overload`, sheds decided by the brownout ladder at
+    /// admission.
+    pub brownout_sheds: u64,
+    /// Requests served on the brownout economy path (single degraded
+    /// attempt, no retry/failover budget).
+    pub economy_served: u64,
+    /// Gray-failure ejections fleet-wide.
+    pub gray_ejections: u64,
+    /// Autoscale boots completed.
+    pub scale_ups: u64,
+    /// Autoscale drains started.
+    pub scale_downs: u64,
+    /// Highest brownout rung reached ([`qt_adapt::Brownout::name`]).
+    pub brownout_peak: String,
+    /// Every adaptive-control decision, in virtual-time order.
+    pub adapt_events: Vec<AdaptEvent>,
 }
 
 impl FleetReport {
@@ -246,12 +306,13 @@ impl FleetReport {
                 + self.shed_queue_full
                 + self.shed_quota
                 + self.shed_no_replica
+                + self.shed_overload
                 + self.deadline_miss
     }
 
     /// All sheds combined.
     pub fn shed_total(&self) -> u64 {
-        self.shed_queue_full + self.shed_quota + self.shed_no_replica
+        self.shed_queue_full + self.shed_quota + self.shed_no_replica + self.shed_overload
     }
 
     /// Served fraction of offered load.
@@ -302,6 +363,7 @@ impl FleetReport {
             "shed_queue_full": self.shed_queue_full,
             "shed_quota": self.shed_quota,
             "shed_no_replica": self.shed_no_replica,
+            "shed_overload": self.shed_overload,
             "deadline_miss": self.deadline_miss,
             "reconciles": self.reconciles(),
             "goodput": self.goodput(),
@@ -318,6 +380,14 @@ impl FleetReport {
             "latency_p50_us": self.latency_quantile_us(0.5).unwrap_or(0.0),
             "latency_p99_us": self.latency_quantile_us(0.99).unwrap_or(0.0),
             "queue_wait_p99_us": self.queue_wait.quantile(0.99).unwrap_or(0.0),
+            "codel_drops": self.codel_drops,
+            "brownout_sheds": self.brownout_sheds,
+            "economy_served": self.economy_served,
+            "gray_ejections": self.gray_ejections,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "brownout_peak": self.brownout_peak.clone(),
+            "adapt_events": self.adapt_events.iter().map(|e| e.to_json()).collect::<Vec<_>>(),
             "replicas": replicas,
             "end_us": self.end_us,
         })
@@ -336,6 +406,7 @@ mod tests {
             FleetOutcome::ShedQueueFull,
             FleetOutcome::ShedQuota,
             FleetOutcome::ShedNoReplica,
+            FleetOutcome::ShedOverload,
             FleetOutcome::DeadlineMiss,
         ];
         let names: Vec<_> = all.iter().map(|o| o.name()).collect();
@@ -347,26 +418,29 @@ mod tests {
                 "shed_queue_full",
                 "shed_quota",
                 "shed_no_replica",
+                "shed_overload",
                 "deadline_miss"
             ]
         );
         assert!(FleetOutcome::ServedDegraded.is_served());
         assert!(FleetOutcome::ShedQuota.is_shed());
+        assert!(FleetOutcome::ShedOverload.is_shed());
         assert!(!FleetOutcome::DeadlineMiss.is_shed());
         assert!(DispatchCause::FailoverCrash.is_failover());
         assert!(!DispatchCause::Hedge.is_failover());
     }
 
     #[test]
-    fn reconciliation_counts_all_six_outcomes() {
+    fn reconciliation_counts_all_seven_outcomes() {
         let report = FleetReport {
             policy: "health_aware".to_string(),
-            offered: 12,
+            offered: 14,
             served_primary: 4,
             served_degraded: 2,
             shed_queue_full: 1,
             shed_quota: 2,
             shed_no_replica: 1,
+            shed_overload: 2,
             deadline_miss: 2,
             failovers: 3,
             crash_failovers: 1,
@@ -381,13 +455,28 @@ mod tests {
             end_us: 99,
             dispatches: Vec::new(),
             responses: Vec::new(),
+            codel_drops: 1,
+            brownout_sheds: 1,
+            economy_served: 1,
+            gray_ejections: 1,
+            scale_ups: 1,
+            scale_downs: 0,
+            brownout_peak: "shed_batch".to_string(),
+            adapt_events: vec![AdaptEvent {
+                at_us: 10,
+                kind: "brownout_up",
+                replica: None,
+                detail: 1.0,
+            }],
         };
         assert!(report.reconciles());
-        assert_eq!(report.shed_total(), 4);
-        assert_eq!(report.goodput(), 0.5);
+        assert_eq!(report.shed_total(), 6);
         let j = report.to_json();
         assert_eq!(j["schema"], "qt-fleet/report/v1");
         assert_eq!(j["reconciles"].as_bool(), Some(true));
         assert_eq!(j["failovers"].as_u64(), Some(3));
+        assert_eq!(j["shed_overload"].as_u64(), Some(2));
+        assert_eq!(j["brownout_peak"], "shed_batch");
+        assert_eq!(j["adapt_events"][0]["kind"], "brownout_up");
     }
 }

@@ -11,11 +11,17 @@
 //!
 //! Event ordering at equal timestamps is fixed by kind rank: completions
 //! free workers first, then failed requests re-route, then lifecycle
-//! transitions fire, then new arrivals are admitted, then snapshots are
-//! written. Ties within a kind break by insertion sequence. This total
-//! order is what makes crash-instant races (a pass finishing at exactly
-//! `down_at`, a failover leaving as the queue drains) deterministic
-//! instead of racy.
+//! transitions fire, then autoscale boots complete, then new arrivals
+//! are admitted, then the adaptive control plane evaluates, then
+//! snapshots are written. Ties within a kind break by insertion
+//! sequence. This total order is what makes crash-instant races (a pass
+//! finishing at exactly `down_at`, a failover leaving as the queue
+//! drains) deterministic instead of racy.
+//!
+//! The adaptive control plane (qt-adapt) hangs off the same loop: a
+//! periodic `AdaptTick` reads only sim-internal state (queue depths,
+//! attempt durations) — never telemetry — so attaching an observer
+//! still changes nothing about the run.
 //!
 //! Crash truncation is computed *synchronously* at pickup: an episode's
 //! block budget is the minimum of its deadline budget and the blocks
@@ -27,10 +33,14 @@ use crate::config::FleetConfig;
 use crate::load::FleetRequest;
 use crate::replica::{Replica, SnapStore};
 use crate::report::{
-    Dispatch, DispatchCause, FleetOutcome, FleetReport, FleetResponse, ReplicaReport,
+    AdaptEvent, Dispatch, DispatchCause, FleetOutcome, FleetReport, FleetResponse, ReplicaReport,
 };
 use crate::router::{ReplicaView, Router};
 use crate::tenant::TenantBook;
+use qt_adapt::{
+    AutoscalePolicy, Brownout, BrownoutLadder, CodelController, GrayDetector, GrayEvent,
+    PriorityTier, ScaleDecision,
+};
 use qt_quant::HealthWindow;
 use qt_robust::{cell_seed, FaultSource, LifecycleEvent, NoFaults};
 use qt_serve::{Backoff, BreakerState, Request};
@@ -60,6 +70,9 @@ struct Job {
     excluded: Vec<usize>,
     /// First service pickup already recorded in the queue-wait histogram.
     waited: bool,
+    /// Brownout economy service: a single degraded-precision attempt,
+    /// no retry/failover/hedge budget.
+    economy: bool,
 }
 
 impl Job {
@@ -72,6 +85,7 @@ impl Job {
             hedged: false,
             excluded: Vec::new(),
             waited: false,
+            economy: false,
         }
     }
 }
@@ -85,8 +99,13 @@ enum Ev {
     Failover(Box<Job>, DispatchCause),
     /// A replica crashes or finishes rebooting.
     Lifecycle(usize, LifecycleEvent),
+    /// An autoscale boot completes: replica `.0` comes out of reserve
+    /// through the snapshot-recovery path.
+    Scale(usize),
     /// A request arrives at the fleet edge.
     Arrival(Box<FleetRequest>),
+    /// Periodic adaptive-control evaluation.
+    AdaptTick,
     /// Periodic health-snapshot persistence.
     SnapshotTick,
 }
@@ -97,8 +116,10 @@ impl Ev {
             Ev::Done(..) => 0,
             Ev::Failover(..) => 1,
             Ev::Lifecycle(..) => 2,
-            Ev::Arrival(..) => 3,
-            Ev::SnapshotTick => 4,
+            Ev::Scale(..) => 3,
+            Ev::Arrival(..) => 4,
+            Ev::AdaptTick => 5,
+            Ev::SnapshotTick => 6,
         }
     }
 }
@@ -177,7 +198,14 @@ struct Episode {
 /// request deadline and the replica's next scheduled outage, so the
 /// returned end time never lands inside a crash window.
 fn run_episode(r: &Replica, job: &Job, start_us: u64, can_failover: bool, seed: u64) -> Episode {
-    let per_block = r.spec.per_block_us.max(1);
+    let mut per_block = r.spec.per_block_us.max(1);
+    if let Some(g) = r.spec.gray_slowdown {
+        if start_us >= g.from_us {
+            // Gray failure: service runs slow, but every health gate
+            // (routing, hedging) still sees the nominal full_pass_us.
+            per_block *= g.factor.max(1);
+        }
+    }
     let max_local = r.spec.retry.max_attempts.max(1);
     let crash_at = r.spec.crashes.next_down_after(start_us.saturating_sub(1));
     let deadline = job.freq.req.deadline_us;
@@ -189,7 +217,7 @@ fn run_episode(r: &Replica, job: &Job, start_us: u64, can_failover: bool, seed: 
     let mut attempts = 0u32;
     let mut flagged_local = 0u32;
     let mut bits = 0u64;
-    let mut force_degraded = false;
+    let mut force_degraded = job.economy;
     let mut attempt_log: Vec<AttemptSpan> = Vec::new();
     let done = |end, attempts, flagged_local, bits, ci, attempt_log| Episode {
         end,
@@ -299,6 +327,9 @@ struct Acc {
     shed_queue_full: u64,
     shed_quota: u64,
     shed_no_replica: u64,
+    shed_overload: u64,
+    brownout_sheds: u64,
+    economy_served: u64,
     deadline_miss: u64,
     failovers: u64,
     crash_failovers: u64,
@@ -311,6 +342,74 @@ struct Acc {
     end_us: u64,
     dispatches: Vec<Dispatch>,
     responses: Vec<FleetResponse>,
+}
+
+/// The adaptive control plane's sim-side state: the qt-adapt decision
+/// machines plus the fleet-owned signals and actuator state they drive.
+/// Everything here is derived from the virtual clock and sim-internal
+/// counters — never from telemetry — so observation stays inert.
+struct AdaptState {
+    every_us: u64,
+    codel: Option<CodelController>,
+    ladder: Option<BrownoutLadder>,
+    gray: Option<GrayDetector>,
+    autoscale: Option<AutoscalePolicy>,
+    /// Administratively out of rotation (reserve capacity, or drained).
+    admin_down: Vec<bool>,
+    /// Draining toward admin-down: no new routing, queue finishes.
+    draining: Vec<bool>,
+    /// Boots in flight (scale-up decided, cold start not yet elapsed).
+    pending_up: usize,
+    /// Per-replica boot-in-flight flag, so concurrent scale-ups pick
+    /// distinct reserve replicas.
+    booting: Vec<bool>,
+    /// Per-replica completed-attempt durations in the current window,
+    /// the gray detector's signal. Cleared every tick.
+    window_lat: Vec<Vec<u64>>,
+    /// Decision audit trail, in virtual-time order.
+    events: Vec<AdaptEvent>,
+    /// Boots completed.
+    scale_ups: u64,
+    /// Drains started.
+    scale_downs: u64,
+}
+
+impl AdaptState {
+    fn new(cfg: &FleetConfig, n: usize) -> Option<Self> {
+        if cfg.adapt_every_us == 0 {
+            return None;
+        }
+        if cfg.codel.is_none()
+            && cfg.brownout.is_none()
+            && cfg.gray.is_none()
+            && cfg.autoscale.is_none()
+        {
+            return None;
+        }
+        let mut admin_down = vec![false; n];
+        if let Some(a) = cfg.autoscale {
+            // Hold everything above the floor in reserve; pressure has
+            // to earn the rest of the band.
+            for slot in admin_down.iter_mut().skip(a.min_replicas.max(1)) {
+                *slot = true;
+            }
+        }
+        Some(Self {
+            every_us: cfg.adapt_every_us,
+            codel: cfg.codel.map(CodelController::new),
+            ladder: cfg.brownout.map(BrownoutLadder::new),
+            gray: cfg.gray.map(|g| GrayDetector::new(g, n)),
+            autoscale: cfg.autoscale.map(AutoscalePolicy::new),
+            admin_down,
+            draining: vec![false; n],
+            pending_up: 0,
+            booting: vec![false; n],
+            window_lat: vec![Vec::new(); n],
+            events: Vec::new(),
+            scale_ups: 0,
+            scale_downs: 0,
+        })
+    }
 }
 
 /// The fleet: replicas, router, tenant book, snapshot store, and the
@@ -332,6 +431,9 @@ pub struct Fleet {
     /// Per-replica cursor into the breaker's transition log, so new
     /// transitions stream to telemetry exactly once.
     breaker_seen: Vec<usize>,
+    /// Adaptive control plane (None when `adapt_every_us` is 0 or no
+    /// sub-policy is configured).
+    adapt: Option<AdaptState>,
 }
 
 impl Fleet {
@@ -357,6 +459,7 @@ impl Fleet {
             replicas.push(Replica::new(id, model.clone(), spec, fault, cfg.retry_seed));
         }
         let n = replicas.len();
+        let adapt = AdaptState::new(&cfg, n);
         Self {
             router: Router::new(cfg.policy),
             book: TenantBook::new(cfg.tenant_quota),
@@ -370,6 +473,7 @@ impl Fleet {
             cfg,
             telemetry: None,
             breaker_seen: vec![0; n],
+            adapt,
         }
     }
 
@@ -431,7 +535,15 @@ impl Fleet {
             .iter()
             .map(|r| ReplicaView {
                 id: r.id,
-                up: r.is_up(now),
+                // Autoscale overlay: reserve and draining replicas are
+                // routing-invisible, though a draining one still
+                // finishes its queue (`kick` only checks the crash
+                // schedule).
+                up: r.is_up(now)
+                    && self
+                        .adapt
+                        .as_ref()
+                        .is_none_or(|a| !a.admin_down[r.id] && !a.draining[r.id]),
                 breaker: r.breaker_state(),
                 queued: self.queues[r.id].len(),
                 in_service: self.busy[r.id],
@@ -462,7 +574,11 @@ impl Fleet {
             FleetOutcome::ShedQueueFull => self.acc.shed_queue_full += 1,
             FleetOutcome::ShedQuota => self.acc.shed_quota += 1,
             FleetOutcome::ShedNoReplica => self.acc.shed_no_replica += 1,
+            FleetOutcome::ShedOverload => self.acc.shed_overload += 1,
             FleetOutcome::DeadlineMiss => self.acc.deadline_miss += 1,
+        }
+        if job.economy && outcome.is_served() {
+            self.acc.economy_served += 1;
         }
         let latency_us = if outcome.is_shed() {
             0
@@ -572,6 +688,7 @@ impl Fleet {
         // another eligible replica — re-route instead of burning the
         // budget on a doomed attempt.
         if self.cfg.hedge
+            && !job.economy
             && deadline != Request::NO_DEADLINE
             && now + self.replicas[r].full_pass_us() > deadline
         {
@@ -603,6 +720,23 @@ impl Fleet {
                 return;
             }
         }
+        // CoDel admission: judge the first pickup by its sojourn time.
+        // A head drop sheds without occupying the worker, so the kick
+        // loop keeps draining — exactly the standing-queue cure.
+        if !job.waited {
+            let sojourn = now.saturating_sub(job.freq.req.arrival_us);
+            let dropped = self
+                .adapt
+                .as_mut()
+                .and_then(|a| a.codel.as_mut())
+                .map(|c| c.on_pickup(now, sojourn).is_drop())
+                .unwrap_or(false);
+            if dropped {
+                self.book.release(job.freq.tenant);
+                self.respond(&job, FleetOutcome::ShedOverload, None, None, now);
+                return;
+            }
+        }
         self.busy[r] += 1;
         if !job.waited {
             job.waited = true;
@@ -612,7 +746,8 @@ impl Fleet {
                 tel.borrow_mut().queue_wait(now, r, wait);
             }
         }
-        let can_failover = self.replicas.len() > 1 && job.failovers < self.cfg.max_failovers;
+        let can_failover =
+            self.replicas.len() > 1 && job.failovers < self.cfg.max_failovers && !job.economy;
         let ep = run_episode(&self.replicas[r], &job, now, can_failover, self.cfg.retry_seed);
         if let Some(tel) = self.telemetry.clone() {
             let mut sink = tel.borrow_mut();
@@ -626,6 +761,27 @@ impl Fleet {
                     a.completed,
                 );
             }
+        }
+        if let Some(a) = self.adapt.as_mut() {
+            if a.gray.is_some() {
+                // Gray signal: completed-attempt durations (pure service
+                // time, backoff excluded) in this detector window.
+                for sp in ep.attempt_log.iter().filter(|sp| sp.completed) {
+                    a.window_lat[r].push(sp.end_us - sp.start_us);
+                }
+            }
+        }
+        // Ejection enforcement at the only point a breaker can close:
+        // clean half-open probes on a still-ejected replica must not
+        // let routine traffic back in before the *detector* clears it.
+        let still_ejected = self
+            .adapt
+            .as_ref()
+            .and_then(|a| a.gray.as_ref())
+            .is_some_and(|g| g.is_ejected(r));
+        if still_ejected && self.replicas[r].breaker_state() == BreakerState::Closed {
+            let at = ep.attempt_log.last().map_or(now, |sp| sp.end_us);
+            self.replicas[r].breaker.get_mut().force_open(at);
         }
         job.attempts += ep.attempts;
         job.flagged += ep.flagged;
@@ -693,6 +849,177 @@ impl Fleet {
         }
     }
 
+    /// One adaptive-control evaluation at `now`: brownout ladder, gray
+    /// detection, autoscale — all from sim-internal signals only.
+    fn adapt_tick(&mut self, now: u64) {
+        // Take/put-back so the adapt state and the fleet can be mutated
+        // together without fighting the borrow checker.
+        let Some(mut a) = self.adapt.take() else {
+            return;
+        };
+        // Queue pressure over the replicas currently taking traffic.
+        // With nothing routable, pressure saturates: that *is* overload.
+        let mut cap = 0usize;
+        let mut used = 0usize;
+        for r in &self.replicas {
+            if r.is_up(now) && !a.admin_down[r.id] && !a.draining[r.id] {
+                cap += r.spec.queue_cap;
+                used += self.queues[r.id].len();
+            }
+        }
+        let pressure = if cap == 0 {
+            1.0
+        } else {
+            used as f64 / cap as f64
+        };
+
+        // Disjoint borrows: the ladder is read while events are pushed.
+        let (ladder, events) = (&mut a.ladder, &mut a.events);
+        if let Some(l) = ladder.as_mut() {
+            let seen = l.transitions().len();
+            l.observe(now, pressure);
+            for tr in &l.transitions()[seen..] {
+                let kind = if tr.to > tr.from {
+                    "brownout_up"
+                } else {
+                    "brownout_down"
+                };
+                events.push(AdaptEvent {
+                    at_us: now,
+                    kind,
+                    replica: None,
+                    detail: tr.to.severity() as f64,
+                });
+                if let Some(tel) = self.telemetry.clone() {
+                    tel.borrow_mut()
+                        .brownout(now, tr.from.name(), tr.to.name(), tr.to.severity());
+                }
+            }
+        }
+
+        if let Some(g) = a.gray.as_mut() {
+            let min = g.config().min_samples;
+            let p99s: Vec<Option<f64>> = a
+                .window_lat
+                .iter()
+                .map(|w| {
+                    if w.len() < min {
+                        return None;
+                    }
+                    let mut s = w.clone();
+                    s.sort_unstable();
+                    // Exact sorted p99 (nearest-rank): bit-stable, unlike
+                    // a binade histogram quantile.
+                    Some(s[(s.len() - 1) * 99 / 100] as f64)
+                })
+                .collect();
+            for ev in g.observe_window(now, &p99s) {
+                match ev {
+                    GrayEvent::Eject { replica, ratio, .. } => {
+                        self.replicas[replica].breaker.get_mut().force_open(now);
+                        self.replicas[replica].stats.gray_ejections += 1;
+                        a.events.push(AdaptEvent {
+                            at_us: now,
+                            kind: "gray_eject",
+                            replica: Some(replica),
+                            detail: ratio,
+                        });
+                        if let Some(tel) = self.telemetry.clone() {
+                            tel.borrow_mut().gray_eject(now, replica, ratio);
+                        }
+                    }
+                    GrayEvent::Rejoin { replica, .. } => {
+                        a.events.push(AdaptEvent {
+                            at_us: now,
+                            kind: "gray_rejoin",
+                            replica: Some(replica),
+                            detail: 0.0,
+                        });
+                        if let Some(tel) = self.telemetry.clone() {
+                            tel.borrow_mut().gray_rejoin(now, replica);
+                        }
+                    }
+                }
+            }
+            // Enforcement: a still-ejected replica that probed its way
+            // back to Closed goes straight back Open — it only truly
+            // rejoins once the *detector* clears it (healthy windows),
+            // not once the breaker's probe quota is satisfied.
+            for r in &mut self.replicas {
+                if g.is_ejected(r.id) && r.is_up(now) && r.breaker_state() == BreakerState::Closed {
+                    r.breaker.get_mut().force_open(now);
+                }
+            }
+            for w in a.window_lat.iter_mut() {
+                w.clear();
+            }
+        }
+
+        if let Some(p) = a.autoscale.as_mut() {
+            let active = (0..self.replicas.len())
+                .filter(|&r| !a.admin_down[r] && !a.draining[r])
+                .count();
+            match p.observe(active, a.pending_up, pressure) {
+                ScaleDecision::Up => {
+                    // Boot the lowest-id reserve replica; the cold start
+                    // is a virtual delay, then Ev::Scale lands it on the
+                    // snapshot-recovery rejoin path.
+                    if let Some(r) = (0..self.replicas.len())
+                        .find(|&r| a.admin_down[r] && !a.booting[r])
+                    {
+                        a.booting[r] = true;
+                        a.pending_up += 1;
+                        a.events.push(AdaptEvent {
+                            at_us: now,
+                            kind: "scale_up_start",
+                            replica: Some(r),
+                            detail: (active + a.pending_up) as f64,
+                        });
+                        self.push_ev(now + p.config().cold_start_us, Ev::Scale(r));
+                        if let Some(tel) = self.telemetry.clone() {
+                            tel.borrow_mut().scale(now, r, "scale_up_start", active + a.pending_up);
+                        }
+                    }
+                }
+                ScaleDecision::Down => {
+                    // Drain the highest-id active replica: stop routing
+                    // to it, let its queue finish.
+                    if let Some(r) = (0..self.replicas.len())
+                        .rev()
+                        .find(|&r| !a.admin_down[r] && !a.draining[r])
+                    {
+                        a.draining[r] = true;
+                        a.scale_downs += 1;
+                        a.events.push(AdaptEvent {
+                            at_us: now,
+                            kind: "scale_down_start",
+                            replica: Some(r),
+                            detail: (active - 1) as f64,
+                        });
+                        if let Some(tel) = self.telemetry.clone() {
+                            tel.borrow_mut().scale(now, r, "scale_down_start", active - 1);
+                        }
+                        if self.busy[r] == 0 && self.queues[r].is_empty() {
+                            a.draining[r] = false;
+                            a.admin_down[r] = true;
+                            a.events.push(AdaptEvent {
+                                at_us: now,
+                                kind: "scale_down_done",
+                                replica: Some(r),
+                                detail: (active - 1) as f64,
+                            });
+                            if let Some(tel) = self.telemetry.clone() {
+                                tel.borrow_mut().scale(now, r, "scale_down_done", active - 1);
+                            }
+                        }
+                    }
+                }
+                ScaleDecision::Hold => {}
+            }
+        }
+        self.adapt = Some(a);
+    }
+
     /// Run the fleet over `requests` (sorted by arrival). Consumes the
     /// fleet: one run per construction, so no state leaks between runs.
     pub fn run(mut self, requests: &[FleetRequest], trace: Option<&TraceHandle>) -> FleetReport {
@@ -712,6 +1039,9 @@ impl Fleet {
         if self.cfg.snapshot_every_us > 0 {
             self.push_ev(self.cfg.snapshot_every_us, Ev::SnapshotTick);
         }
+        if let Some(every) = self.adapt.as_ref().map(|a| a.every_us) {
+            self.push_ev(every, Ev::AdaptTick);
+        }
 
         while let Some(Entry { at: now, ev, .. }) = self.heap.pop() {
             self.acc.end_us = self.acc.end_us.max(now);
@@ -720,13 +1050,33 @@ impl Fleet {
                     if let Some(tel) = self.telemetry.clone() {
                         tel.borrow_mut().arrival(now, freq.req.id);
                     }
+                    // Brownout gate, before the quota book: a rung that
+                    // sheds this tier rejects at the door (no quota
+                    // churn); a rung that degrades it marks the job for
+                    // economy service.
+                    let level = self
+                        .adapt
+                        .as_ref()
+                        .and_then(|a| a.ladder.as_ref())
+                        .map(|l| l.level())
+                        .unwrap_or(Brownout::Normal);
+                    let tier = PriorityTier::of_user(freq.user);
+                    if level.sheds(tier) {
+                        self.acc.brownout_sheds += 1;
+                        let job = Job::new(*freq);
+                        self.respond(&job, FleetOutcome::ShedOverload, None, None, now);
+                        self.drain_breaker_transitions();
+                        continue;
+                    }
                     if !self.book.admit(freq.tenant) {
                         let job = Job::new(*freq);
                         self.respond(&job, FleetOutcome::ShedQuota, None, None, now);
                         self.drain_breaker_transitions();
                         continue;
                     }
-                    self.dispatch_or_shed(Job::new(*freq), now, DispatchCause::Fresh);
+                    let mut job = Job::new(*freq);
+                    job.economy = level.economy(tier);
+                    self.dispatch_or_shed(job, now, DispatchCause::Fresh);
                 }
                 Ev::Done(r, tenant) => {
                     if let Some(t) = tenant {
@@ -737,6 +1087,35 @@ impl Fleet {
                     // down; `kick` notices and the lifecycle event drains
                     // the queue instead.
                     self.kick(r, now);
+                    // A draining replica whose last work just finished
+                    // completes its scale-down.
+                    if self.busy[r] == 0 && self.queues[r].is_empty() {
+                        let done = self.adapt.as_mut().and_then(|a| {
+                            if !a.draining[r] {
+                                return None;
+                            }
+                            a.draining[r] = false;
+                            a.admin_down[r] = true;
+                            let active = a
+                                .admin_down
+                                .iter()
+                                .zip(&a.draining)
+                                .filter(|(&d, &dr)| !d && !dr)
+                                .count();
+                            a.events.push(AdaptEvent {
+                                at_us: now,
+                                kind: "scale_down_done",
+                                replica: Some(r),
+                                detail: active as f64,
+                            });
+                            Some(active)
+                        });
+                        if let Some(active) = done {
+                            if let Some(tel) = self.telemetry.clone() {
+                                tel.borrow_mut().scale(now, r, "scale_down_done", active);
+                            }
+                        }
+                    }
                 }
                 Ev::Failover(job, cause) => {
                     self.dispatch_or_shed(*job, now, cause);
@@ -773,6 +1152,10 @@ impl Fleet {
                         Err(qt_serve::SnapshotError::Corrupt(_))
                     );
                     self.replicas[r].recover(loaded, now);
+                    // recover() swaps in a fresh breaker with an empty
+                    // transition log; restart the telemetry cursor so the
+                    // new log streams from its beginning.
+                    self.breaker_seen[r] = 0;
                     if let Some(tel) = self.telemetry.clone() {
                         tel.borrow_mut().recover(now, r, corrupt);
                     }
@@ -790,6 +1173,52 @@ impl Fleet {
                         if corrupt {
                             s.metrics_mut().counter_add("fleet.snapshot_corrupt", &[], 1);
                         }
+                    }
+                }
+                Ev::Scale(r) => {
+                    // Cold start elapsed: the booted replica joins via
+                    // the exact crash-recovery path — newest snapshot
+                    // loaded, breaker forced Open, traffic re-earned
+                    // through half-open probes.
+                    let loaded = self.store.load(r);
+                    let corrupt = matches!(&loaded, Err(qt_serve::SnapshotError::Corrupt(_)));
+                    self.replicas[r].recover(loaded, now);
+                    // Fresh breaker, fresh telemetry cursor (see the
+                    // Lifecycle::Recover arm).
+                    self.breaker_seen[r] = 0;
+                    if let Some(tel) = self.telemetry.clone() {
+                        tel.borrow_mut().recover(now, r, corrupt);
+                    }
+                    let active = self.adapt.as_mut().map(|a| {
+                        a.pending_up = a.pending_up.saturating_sub(1);
+                        a.booting[r] = false;
+                        a.admin_down[r] = false;
+                        a.scale_ups += 1;
+                        let active = a
+                            .admin_down
+                            .iter()
+                            .zip(&a.draining)
+                            .filter(|(&d, &dr)| !d && !dr)
+                            .count();
+                        a.events.push(AdaptEvent {
+                            at_us: now,
+                            kind: "scale_up_done",
+                            replica: Some(r),
+                            detail: active as f64,
+                        });
+                        active
+                    });
+                    if let Some(active) = active {
+                        if let Some(tel) = self.telemetry.clone() {
+                            tel.borrow_mut().scale(now, r, "scale_up_done", active);
+                        }
+                    }
+                }
+                Ev::AdaptTick => {
+                    self.adapt_tick(now);
+                    let every = self.adapt.as_ref().map(|a| a.every_us).unwrap_or(0);
+                    if every > 0 && now < last_arrival {
+                        self.push_ev(now + every, Ev::AdaptTick);
                     }
                 }
                 Ev::SnapshotTick => {
@@ -815,6 +1244,24 @@ impl Fleet {
 
         let mut acc = std::mem::take(&mut self.acc);
         acc.responses.sort_by_key(|r| r.id);
+        let adapt = self.adapt.take();
+        let (codel_drops, gray_ejections, scale_ups, scale_downs, brownout_peak, adapt_events) =
+            match adapt {
+                Some(a) => (
+                    a.codel.as_ref().map(|c| c.drops()).unwrap_or(0),
+                    a.gray.as_ref().map(|g| g.ejections()).unwrap_or(0),
+                    a.scale_ups,
+                    a.scale_downs,
+                    a.ladder
+                        .as_ref()
+                        .map(|l| l.peak())
+                        .unwrap_or(Brownout::Normal)
+                        .name()
+                        .to_string(),
+                    a.events,
+                ),
+                None => (0, 0, 0, 0, Brownout::Normal.name().to_string(), Vec::new()),
+            };
         let replicas: Vec<ReplicaReport> = self
             .replicas
             .iter()
@@ -835,6 +1282,7 @@ impl Fleet {
             shed_queue_full: acc.shed_queue_full,
             shed_quota: acc.shed_quota,
             shed_no_replica: acc.shed_no_replica,
+            shed_overload: acc.shed_overload,
             deadline_miss: acc.deadline_miss,
             failovers: acc.failovers,
             crash_failovers: acc.crash_failovers,
@@ -849,6 +1297,14 @@ impl Fleet {
             end_us: acc.end_us,
             dispatches: acc.dispatches,
             responses: acc.responses,
+            codel_drops,
+            brownout_sheds: acc.brownout_sheds,
+            economy_served: acc.economy_served,
+            gray_ejections,
+            scale_ups,
+            scale_downs,
+            brownout_peak,
+            adapt_events,
         };
 
         if let Some(t) = trace {
@@ -893,10 +1349,16 @@ impl Fleet {
             m.counter_add("fleet.shed_queue_full", &[], report.shed_queue_full);
             m.counter_add("fleet.shed_quota", &[], report.shed_quota);
             m.counter_add("fleet.shed_no_replica", &[], report.shed_no_replica);
+            m.counter_add("fleet.shed_overload", &[], report.shed_overload);
             m.counter_add("fleet.deadline_miss", &[], report.deadline_miss);
             m.counter_add("fleet.failovers", &[], report.failovers);
             m.counter_add("fleet.hedges", &[], report.hedges);
             m.counter_add("fleet.requeued_on_crash", &[], report.requeued_on_crash);
+            m.counter_add("fleet.codel_drops", &[], report.codel_drops);
+            m.counter_add("fleet.brownout_sheds", &[], report.brownout_sheds);
+            m.counter_add("fleet.gray_ejections", &[], report.gray_ejections);
+            m.counter_add("fleet.scale_ups", &[], report.scale_ups);
+            m.counter_add("fleet.scale_downs", &[], report.scale_downs);
             for r in &report.responses {
                 if !r.outcome.is_shed() {
                     m.observe("fleet.latency_us", &[], r.latency_us as f32);
@@ -1172,6 +1634,191 @@ mod tests {
         let t1: Vec<_> = report.responses.iter().filter(|r| r.tenant == 1).collect();
         assert_eq!(t1.len(), 1);
         assert!(t1[0].outcome.is_served(), "tenant 1 unaffected");
+    }
+
+    #[test]
+    fn overload_climbs_ladder_boots_reserve_and_protects_paid() {
+        let model = tiny_model();
+        let pass = model.blocks_per_forward() * ReplicaSpec::BASE_BLOCK_US;
+        let cfg = FleetConfig {
+            replicas: vec![ReplicaSpec::new(ElemFormat::P8E1); 3],
+            adapt_every_us: 2 * pass,
+            brownout: Some(qt_adapt::BrownoutConfig::default()),
+            autoscale: Some(qt_adapt::AutoscaleConfig {
+                min_replicas: 1,
+                max_replicas: 3,
+                up_consecutive: 1,
+                cold_start_us: pass,
+                ..qt_adapt::AutoscaleConfig::default()
+            }),
+            ..FleetConfig::default()
+        };
+        // 4× the single active replica's capacity, sustained.
+        let reqs = FleetLoadSpec {
+            rps: 4.0 * 1e6 / pass as f64,
+            duration_us: 60 * pass,
+            shape: ArrivalShape::Constant,
+            deadline_us: 0,
+            ..FleetLoadSpec::default()
+        }
+        .requests(model.cfg.vocab);
+        let report = run_fleet(
+            &model,
+            &cfg,
+            &reqs,
+            Vec::new(),
+            Box::new(MemSnapStore::new()),
+            None,
+        );
+        assert!(report.reconciles(), "{report:?}");
+        assert!(report.brownout_sheds > 0, "ladder must shed: {report:?}");
+        assert_ne!(report.brownout_peak, "normal");
+        assert!(report.scale_ups >= 1, "pressure must boot the reserve");
+        assert!(
+            report.economy_served > 0,
+            "degrade rungs serve on the economy path: {report:?}"
+        );
+        // The ladder walks one rung at a time, from Normal.
+        let mut sev = 0i64;
+        for e in report
+            .adapt_events
+            .iter()
+            .filter(|e| e.kind.starts_with("brownout"))
+        {
+            let d = e.detail as i64;
+            assert_eq!((d - sev).abs(), 1, "single-step walk: {:?}", report.adapt_events);
+            sev = d;
+        }
+        // Brownout never rejects paid traffic (users 0,1 mod 4).
+        for r in &report.responses {
+            if r.outcome == FleetOutcome::ShedOverload {
+                assert!(r.user % 4 >= 2, "paid user {} overload-shed", r.user);
+            }
+        }
+        // Booted replicas joined through the recovery path: forced Open,
+        // then re-earned traffic via half-open probes.
+        for e in report.adapt_events.iter().filter(|e| e.kind == "scale_up_done") {
+            let r = e.replica.unwrap();
+            assert!(report.replicas[r].stats.recoveries >= 1);
+        }
+    }
+
+    #[test]
+    fn codel_sheds_standing_queue_from_the_head() {
+        let model = tiny_model();
+        let pass = model.blocks_per_forward() * ReplicaSpec::BASE_BLOCK_US;
+        let cfg = FleetConfig {
+            replicas: vec![ReplicaSpec::new(ElemFormat::P8E1)],
+            adapt_every_us: pass,
+            codel: Some(qt_adapt::CodelConfig {
+                target_us: pass,
+                interval_us: 2 * pass,
+            }),
+            ..FleetConfig::default()
+        };
+        let reqs = FleetLoadSpec {
+            rps: 3.0 * 1e6 / pass as f64,
+            duration_us: 40 * pass,
+            shape: ArrivalShape::Constant,
+            deadline_us: 0,
+            ..FleetLoadSpec::default()
+        }
+        .requests(model.cfg.vocab);
+        let report = run_fleet(
+            &model,
+            &cfg,
+            &reqs,
+            Vec::new(),
+            Box::new(MemSnapStore::new()),
+            None,
+        );
+        assert!(report.reconciles(), "{report:?}");
+        assert!(report.codel_drops > 0, "standing queue must shed: {report:?}");
+        // Without a brownout ladder every overload shed is a CoDel drop.
+        assert_eq!(report.shed_overload, report.codel_drops);
+        // Dropped requests were picked up, never served, zero attempts.
+        for r in &report.responses {
+            if r.outcome == FleetOutcome::ShedOverload {
+                assert_eq!(r.attempts, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn autoscale_boots_on_pressure_and_drains_when_calm() {
+        let model = tiny_model();
+        let pass = model.blocks_per_forward() * ReplicaSpec::BASE_BLOCK_US;
+        let cfg = FleetConfig {
+            replicas: vec![ReplicaSpec::new(ElemFormat::P8E1); 2],
+            adapt_every_us: 2 * pass,
+            autoscale: Some(qt_adapt::AutoscaleConfig {
+                min_replicas: 1,
+                max_replicas: 2,
+                up_consecutive: 1,
+                down_consecutive: 2,
+                cold_start_us: pass,
+                ..qt_adapt::AutoscaleConfig::default()
+            }),
+            ..FleetConfig::default()
+        };
+        // A hot burst up front, then a long sparse tail: pressure boots
+        // the reserve, calm drains it again.
+        let reqs = FleetLoadSpec {
+            rps: 0.4 * 1e6 / pass as f64,
+            duration_us: 100 * pass,
+            shape: ArrivalShape::Bursty {
+                burst_len_us: 15 * pass,
+                burst_mult: 10.0,
+            },
+            period_us: 200 * pass,
+            deadline_us: 0,
+            ..FleetLoadSpec::default()
+        }
+        .requests(model.cfg.vocab);
+        let report = run_fleet(
+            &model,
+            &cfg,
+            &reqs,
+            Vec::new(),
+            Box::new(MemSnapStore::new()),
+            None,
+        );
+        assert!(report.reconciles(), "{report:?}");
+        assert!(report.scale_ups >= 1, "burst must boot: {:?}", report.adapt_events);
+        assert!(report.scale_downs >= 1, "calm must drain: {:?}", report.adapt_events);
+        let kinds: Vec<&str> = report.adapt_events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"scale_up_done"));
+        assert!(kinds.contains(&"scale_down_done"));
+        // No dispatch ever lands on the drained replica while it is out
+        // of rotation (between scale_down_done and any later boot).
+        let down_at = report
+            .adapt_events
+            .iter()
+            .find(|e| e.kind == "scale_down_done")
+            .unwrap()
+            .at_us;
+        let rebooted_at = report
+            .adapt_events
+            .iter()
+            .find(|e| e.kind == "scale_up_done" && e.at_us > down_at)
+            .map(|e| e.at_us)
+            .unwrap_or(u64::MAX);
+        let drained = report
+            .adapt_events
+            .iter()
+            .find(|e| e.kind == "scale_down_done")
+            .unwrap()
+            .replica
+            .unwrap();
+        for d in &report.dispatches {
+            if d.replica == drained {
+                assert!(
+                    d.at_us <= down_at || d.at_us >= rebooted_at,
+                    "dispatch to drained replica at {}",
+                    d.at_us
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,8 +15,15 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rejected {
     /// The queue already holds `capacity` items — shed the request
-    /// instead of growing the backlog.
-    QueueFull,
+    /// instead of growing the backlog. Carries the observed backlog so
+    /// overload controllers and telemetry can distinguish "full at 8"
+    /// from "full at 4096" without re-querying the queue.
+    QueueFull {
+        /// Items waiting when the push was rejected.
+        depth: usize,
+        /// Admission capacity of the rejecting queue.
+        capacity: usize,
+    },
     /// The queue was closed (server shutting down).
     Closed,
 }
@@ -24,7 +31,9 @@ pub enum Rejected {
 impl std::fmt::Display for Rejected {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Rejected::QueueFull => write!(f, "queue full"),
+            Rejected::QueueFull { depth, capacity } => {
+                write!(f, "queue full ({depth}/{capacity})")
+            }
             Rejected::Closed => write!(f, "queue closed"),
         }
     }
@@ -84,7 +93,11 @@ impl<T> BoundedQueue<T> {
             return Err((item, Rejected::Closed));
         }
         if g.items.len() >= self.capacity {
-            return Err((item, Rejected::QueueFull));
+            let why = Rejected::QueueFull {
+                depth: g.items.len(),
+                capacity: self.capacity,
+            };
+            return Err((item, why));
         }
         g.items.push_back(item);
         g.max_depth = g.max_depth.max(g.items.len());
@@ -142,7 +155,11 @@ mod tests {
         assert!(q.try_push(1).is_ok());
         assert!(q.try_push(2).is_ok());
         let (item, why) = q.try_push(3).unwrap_err();
-        assert_eq!((item, why), (3, Rejected::QueueFull));
+        assert_eq!(
+            (item, why),
+            (3, Rejected::QueueFull { depth: 2, capacity: 2 })
+        );
+        assert_eq!(why.to_string(), "queue full (2/2)");
         assert_eq!(q.max_depth(), 2);
         q.close();
         let (_, why) = q.try_push(4).unwrap_err();
@@ -189,7 +206,7 @@ mod tests {
                         ok = true;
                         break;
                     }
-                    Err((back, Rejected::QueueFull)) => {
+                    Err((back, Rejected::QueueFull { .. })) => {
                         item = back;
                         std::thread::yield_now();
                     }

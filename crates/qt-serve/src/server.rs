@@ -104,7 +104,7 @@ impl Server {
         match self.shared.queue.try_push(req) {
             Ok(()) => Ok(()),
             Err((req, why)) => {
-                if why == Rejected::QueueFull {
+                if matches!(why, Rejected::QueueFull { .. }) {
                     self.shared.responses().push(Response::shed(&req));
                 }
                 Err(why)
@@ -271,7 +271,7 @@ mod tests {
         let mut rejected = 0u64;
         for id in 0..offered {
             if let Err(e) = server.submit(request(id, vocab)) {
-                assert_eq!(e, Rejected::QueueFull);
+                assert!(matches!(e, Rejected::QueueFull { depth: 1, capacity: 1 }));
                 rejected += 1;
             }
         }

@@ -443,6 +443,9 @@ pub fn run_sim_observed(
         m.counter_add("serve.flagged_attempts", &[], report.flagged_attempts);
         m.counter_add("serve.breaker_trips", &[], report.breaker_trips);
         m.gauge_set("serve.max_queue_depth", &[], report.max_queue_depth as f64);
+        // Paired with shed_queue_full this answers "full at what size?":
+        // the [`Rejected::QueueFull`] context, threaded into the metrics.
+        m.gauge_set("serve.queue_cap", &[], cfg.queue_cap as f64);
         m.gauge_set("serve.degraded_fraction", &[], report.degraded_fraction());
         for r in &report.responses {
             if r.outcome != OutcomeKind::ShedQueueFull {

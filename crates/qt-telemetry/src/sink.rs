@@ -421,6 +421,59 @@ impl TelemetrySink {
         }
     }
 
+    /// The brownout ladder moved `from` → `to` (`severity` is the
+    /// destination rung's 0-based index).
+    pub fn brownout(&mut self, at_us: u64, from: &str, to: &str, severity: u8) {
+        self.touch(at_us);
+        self.gauge(Scope::Fleet, "adapt.brownout_level", at_us, severity as f64);
+        self.counter(Scope::Fleet, "adapt.brownout_transitions", at_us, 1);
+        self.counter(
+            Scope::Fleet,
+            &format!("adapt.brownout.{from}->{to}"),
+            at_us,
+            1,
+        );
+    }
+
+    /// The gray detector ejected `replica` (its windowed p99 ran
+    /// `ratio`× the fleet median). The forced breaker-open that follows
+    /// freezes the flight ring via [`TelemetrySink::breaker`]; here we
+    /// only record *why*.
+    pub fn gray_eject(&mut self, at_us: u64, replica: usize, ratio: f64) {
+        self.touch(at_us);
+        self.counter(Scope::Fleet, "adapt.gray_ejections", at_us, 1);
+        self.counter(Scope::Replica(replica), "adapt.gray_ejections", at_us, 1);
+        self.black_box(
+            replica,
+            at_us,
+            "gray_eject",
+            vec![("ratio".to_string(), ratio)],
+        );
+    }
+
+    /// An ejected replica posted enough healthy windows to rejoin.
+    pub fn gray_rejoin(&mut self, at_us: u64, replica: usize) {
+        self.touch(at_us);
+        self.counter(Scope::Fleet, "adapt.gray_rejoins", at_us, 1);
+        self.counter(Scope::Replica(replica), "adapt.gray_rejoins", at_us, 1);
+        self.black_box(replica, at_us, "gray_rejoin", vec![]);
+    }
+
+    /// An autoscale lifecycle edge on `replica` (`kind` is one of
+    /// `scale_up_start`, `scale_up_done`, `scale_down_start`,
+    /// `scale_down_done`; `active` the routable replica count after it).
+    pub fn scale(&mut self, at_us: u64, replica: usize, kind: &str, active: usize) {
+        self.touch(at_us);
+        self.counter(Scope::Fleet, &format!("adapt.{kind}"), at_us, 1);
+        self.gauge(Scope::Fleet, "adapt.active_replicas", at_us, active as f64);
+        self.black_box(
+            replica,
+            at_us,
+            kind,
+            vec![("active".to_string(), active as f64)],
+        );
+    }
+
     // ---- flight dumps --------------------------------------------------
 
     /// Freeze `replica`'s flight ring now, writing the dump atomically

@@ -18,7 +18,7 @@
 use proptest::prelude::*;
 use qt_fleet::{
     audit_unflagged_corruption, run_fleet, ArrivalShape, DispatchCause, FleetConfig,
-    FleetLoadSpec, FleetReport, MemSnapStore, ReplicaSpec, RouterPolicy,
+    FleetLoadSpec, FleetReport, MemSnapStore, ReplicaSpec, ReplicaView, Router, RouterPolicy,
 };
 use qt_quant::ElemFormat;
 use qt_robust::{BerFaultSource, CodeFormat, CrashSchedule, FaultSource, NoFaults};
@@ -216,6 +216,157 @@ proptest! {
     }
 }
 
+// The half-open probe budget, property-based against the router
+// itself: a recovering (HalfOpen) replica receives at most one pick
+// per PROBE_EVERY consecutive HealthAware decisions as long as any
+// Closed replica stays eligible — arbitrary queue depths (peak-arrival
+// churn) must not let probe traffic exceed the quota.
+proptest! {
+    #[test]
+    fn rejoining_replica_never_exceeds_probe_budget(
+        seed in 0u64..1_000,
+        n_closed in 1usize..4,
+        rounds in 16usize..160,
+    ) {
+        let mut router = Router::new(RouterPolicy::HealthAware);
+        let half_open_id = n_closed;
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut probed = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let mut views = Vec::with_capacity(n_closed + 1);
+            for id in 0..n_closed {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                views.push(ReplicaView {
+                    id,
+                    up: true,
+                    breaker: BreakerState::Closed,
+                    queued: (state >> 33) as usize % 4, // < cap: always room
+                    in_service: (state >> 37) as usize % 2,
+                    queue_cap: 8,
+                    full_pass_us: 6_000,
+                });
+            }
+            views.push(ReplicaView {
+                id: half_open_id,
+                up: true,
+                breaker: BreakerState::HalfOpen,
+                queued: 0,
+                in_service: 0,
+                queue_cap: 8,
+                full_pass_us: 6_000,
+            });
+            probed.push(router.pick(&views, &[]) == Some(half_open_id));
+        }
+        let k = Router::PROBE_EVERY as usize;
+        for (i, w) in probed.windows(k).enumerate() {
+            let probes = w.iter().filter(|&&p| p).count();
+            prop_assert!(
+                probes <= 1,
+                "{probes} probes in decisions [{i}, {}) — budget is 1 per {k}",
+                i + k
+            );
+        }
+        let total = probed.iter().filter(|&&p| p).count();
+        prop_assert!(total <= rounds / k + 1, "total probes {total} over {rounds} decisions");
+    }
+}
+
+/// Memoized gray-failure chaos runs: replica 1 silently slows 3× under
+/// a spread-the-load policy, with the adaptive plane's detector armed.
+fn cached_gray_run(seed: u64) -> std::sync::Arc<FleetReport> {
+    use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<BTreeMap<u64, Arc<FleetReport>>>> = OnceLock::new();
+    let pass = 6 * ReplicaSpec::BASE_BLOCK_US;
+    let cfg = FleetConfig {
+        replicas: vec![
+            ReplicaSpec::new(ElemFormat::P8E1),
+            ReplicaSpec::new(ElemFormat::P8E1).with_gray_slowdown(4 * pass, 3),
+            ReplicaSpec::new(ElemFormat::P8E1),
+        ],
+        policy: RouterPolicy::RoundRobin,
+        adapt_every_us: 16 * pass,
+        gray: Some(qt_adapt::GrayConfig {
+            factor: 1.5,
+            min_samples: 3,
+            eject_consecutive: 2,
+            rejoin_consecutive: 2,
+        }),
+        ..FleetConfig::default()
+    };
+    let load = FleetLoadSpec {
+        rps: 2.0 * 1e6 / pass as f64,
+        duration_us: 80 * pass,
+        shape: ArrivalShape::Constant,
+        deadline_us: 0,
+        seed,
+        ..FleetLoadSpec::default()
+    }
+    .requests(tiny_model().cfg.vocab);
+    let mut cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new())).lock().unwrap();
+    cache
+        .entry(seed)
+        .or_insert_with(|| {
+            Arc::new(run_fleet(
+                &tiny_model(),
+                &cfg,
+                &load,
+                vec![
+                    Box::new(NoFaults),
+                    Box::new(NoFaults),
+                    Box::new(NoFaults),
+                ],
+                Box::new(MemSnapStore::new()),
+                None,
+            ))
+        })
+        .clone()
+}
+
+// A gray-ejected replica is out of rotation for the duration of its
+// ejection: between its `gray_eject` and the matching `gray_rejoin`
+// (or end of run), the only dispatches it may receive are HalfOpen
+// probes — routine Closed-breaker traffic never lands there, for
+// every arrival seed.
+proptest! {
+    #[test]
+    fn ejected_gray_replica_gets_probes_only(seed in 0u64..2) {
+        let report = cached_gray_run(seed);
+        prop_assert!(report.reconciles());
+        prop_assert!(
+            report.gray_ejections >= 1,
+            "the 3x-slow replica must be caught: {:?}",
+            report.adapt_events
+        );
+        // Pair each ejection with its rejoin (or end of run) per replica.
+        for (i, e) in report.adapt_events.iter().enumerate() {
+            if e.kind != "gray_eject" {
+                continue;
+            }
+            let r = e.replica.expect("gray events carry a replica");
+            let until = report.adapt_events[i + 1..]
+                .iter()
+                .find(|x| x.kind == "gray_rejoin" && x.replica == Some(r))
+                .map(|x| x.at_us)
+                .unwrap_or(u64::MAX);
+            for d in report.dispatches.iter() {
+                if d.replica == r && d.at_us > e.at_us && d.at_us < until {
+                    prop_assert_eq!(
+                        d.breaker,
+                        BreakerState::HalfOpen,
+                        "request {} landed on ejected replica {} at {}us outside the probe path",
+                        d.req_id,
+                        r,
+                        d.at_us
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Validate the `fleet_bench` output schema. Runs over the file named
 /// by `QT_VALIDATE_FLEET` (CI's fleet-smoke job runs the binary first);
 /// skips silently when the variable is unset.
@@ -255,6 +406,7 @@ fn env_named_fleet_json_validates() {
             "shed_queue_full",
             "shed_quota",
             "shed_no_replica",
+            "shed_overload",
             "deadline_miss",
         ]
         .iter()
