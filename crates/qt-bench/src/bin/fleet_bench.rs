@@ -525,6 +525,7 @@ fn main() {
                 max_replicas: hi,
                 ..AutoscaleConfig::default()
             }),
+            shield: None,
         };
         let snap_dir = opts.out_dir.join(format!("fleet_snaps_{}", policy.name()));
         let popts = opts.scoped(policy.name());

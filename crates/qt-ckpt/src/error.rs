@@ -23,6 +23,9 @@ pub enum CkptError {
     SectionCrc {
         /// Name of the failing section.
         section: String,
+        /// Byte offset of the section's payload within the file — where
+        /// a repair tool (or a human with a hex dump) should look.
+        offset: u64,
     },
     /// The whole-file CRC32 trailer does not match the contents.
     FileCrc,
@@ -46,8 +49,11 @@ impl fmt::Display for CkptError {
             CkptError::Truncated { expected, actual } => {
                 write!(f, "truncated checkpoint: needed {expected} bytes, have {actual}")
             }
-            CkptError::SectionCrc { section } => {
-                write!(f, "CRC mismatch in checkpoint section {section:?}")
+            CkptError::SectionCrc { section, offset } => {
+                write!(
+                    f,
+                    "CRC mismatch in checkpoint section {section:?} (payload at byte offset {offset})"
+                )
             }
             CkptError::FileCrc => write!(f, "whole-file CRC mismatch"),
             CkptError::MissingSection(s) => write!(f, "missing checkpoint section {s:?}"),

@@ -1,7 +1,10 @@
 //! # qt-ckpt — durable, checksummed training checkpoints
 //!
 //! Crash-safety layer for the 8-bit transformer reproduction (DESIGN.md
-//! §10). Zero dependencies. Three guarantees:
+//! §10). Only dependency: the zero-dep qt-shield SEC-DED codec, for the
+//! optional parity sidecar ([`ecc_plane`]/[`ecc_verify`]) that upgrades
+//! CRC *detection* of storage rot into single-bit *correction*. Three
+//! guarantees:
 //!
 //! 1. **Atomicity** — every artifact write (checkpoints, bench JSON,
 //!    traces, manifests) goes through [`atomic_write`]: temp sibling,
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod crc;
+mod ecc;
 mod error;
 mod format;
 mod io;
@@ -29,6 +33,7 @@ mod state;
 mod store;
 
 pub use crc::{crc32, Crc32};
+pub use ecc::{ecc_plane, ecc_plane_len, ecc_verify, EccOutcome};
 pub use error::CkptError;
 pub use format::{parse_envelope, ByteReader, ByteWriter, Envelope, MAGIC, VERSION};
 pub use io::{atomic_write, atomic_write_str};

@@ -92,6 +92,49 @@ impl ReplicaSpec {
     }
 }
 
+/// Memory-integrity protection over each replica's resident quantized
+/// code storage (DESIGN.md §16): a qt-shield SEC-DED parity plane, a
+/// background scrubber on the virtual clock, and quarantine → repair
+/// from the pristine f32 master weights when a double-bit detection
+/// proves a region unrecoverable in place.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShieldConfig {
+    /// Scrub pass period per replica, virtual µs.
+    pub scrub_every_us: u64,
+    /// Scrubber bandwidth budget: ECC words decoded per pass.
+    pub scrub_budget_words: usize,
+    /// Persistent storage bit-error rate, flips per protected bit per
+    /// scrub window (0 = pristine hardware, the control leg).
+    pub storage_ber: f64,
+    /// Seed for the per-replica, per-window storage fault streams.
+    pub storage_seed: u64,
+    /// Virtual repair cost per ECC word of the quarantined region, µs —
+    /// the time to re-quantize that parameter from the f32 masters.
+    pub repair_us_per_word: u64,
+}
+
+impl Default for ShieldConfig {
+    fn default() -> Self {
+        Self {
+            scrub_every_us: 10_000,
+            scrub_budget_words: usize::MAX,
+            storage_ber: 0.0,
+            storage_seed: 0x5_1e1d,
+            repair_us_per_word: 1,
+        }
+    }
+}
+
+impl ShieldConfig {
+    /// Clamp knobs to their minimums.
+    pub fn normalized(mut self) -> Self {
+        self.scrub_every_us = self.scrub_every_us.max(1);
+        self.scrub_budget_words = self.scrub_budget_words.max(1);
+        self.storage_ber = self.storage_ber.max(0.0);
+        self
+    }
+}
+
 /// Fleet-wide policy.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -133,6 +176,9 @@ pub struct FleetConfig {
     /// [`AutoscaleConfig::min_replicas`] replicas start active; the rest
     /// are held in reserve until pressure boots them.
     pub autoscale: Option<AutoscaleConfig>,
+    /// ECC protection + background scrubbing of each replica's quantized
+    /// code storage (None = unprotected storage, the historical shape).
+    pub shield: Option<ShieldConfig>,
 }
 
 impl Default for FleetConfig {
@@ -151,6 +197,7 @@ impl Default for FleetConfig {
             brownout: None,
             gray: None,
             autoscale: None,
+            shield: None,
         }
     }
 }
@@ -163,6 +210,7 @@ impl FleetConfig {
         }
         self.replicas = self.replicas.into_iter().map(ReplicaSpec::normalized).collect();
         self.tenants = self.tenants.max(1);
+        self.shield = self.shield.map(ShieldConfig::normalized);
         self
     }
 }

@@ -31,6 +31,13 @@
 //!   ejection (with probe-gated rejoin), and queue-pressure autoscaling
 //!   that boots reserves through the snapshot-recovery path. Every
 //!   decision lands in the [`report::AdaptEvent`] audit trail.
+//! - **Memory integrity** ([`config::ShieldConfig`] + [`qt_shield`]) —
+//!   an optional SEC-DED parity plane over each replica's resident
+//!   quantized codes: a background scrubber on the virtual clock
+//!   corrects single-bit storage rot in place, double-bit detections
+//!   quarantine the region (forcing the degraded path) and schedule a
+//!   bit-exact repair from the f32 master weights, and every event flows
+//!   into the report, trace counters, and telemetry.
 //!
 //! Everything runs in a single-threaded discrete-event simulation on a
 //! virtual microsecond clock; the forward passes inside run on the real
@@ -49,9 +56,9 @@ pub mod router;
 pub mod sim;
 pub mod tenant;
 
-pub use config::{FleetConfig, GraySlowdown, ReplicaSpec};
+pub use config::{FleetConfig, GraySlowdown, ReplicaSpec, ShieldConfig};
 pub use load::{ArrivalShape, FleetLoadSpec, FleetRequest};
-pub use replica::{DirSnapStore, MemSnapStore, Replica, ReplicaStats, SnapStore};
+pub use replica::{DirSnapStore, MemSnapStore, Replica, ReplicaStats, ShieldState, SnapStore};
 pub use report::{
     AdaptEvent, Dispatch, DispatchCause, FleetOutcome, FleetReport, FleetResponse, ReplicaReport,
 };

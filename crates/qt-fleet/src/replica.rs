@@ -1,11 +1,12 @@
 //! One replica: a qt-serve [`Engine`] plus its breaker, lifecycle
 //! schedule, counters, and durable snapshot store.
 
-use crate::config::ReplicaSpec;
-use qt_robust::{cell_seed, FaultSource};
+use crate::config::{ReplicaSpec, ShieldConfig};
+use qt_robust::{cell_seed, FaultSource, StorageFaultModel};
 use qt_serve::{
     BreakerState, CircuitBreaker, Engine, HealthSnapshot, ServeConfig, SnapshotError,
 };
+use qt_shield::Shield;
 use qt_transformer::Model;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -43,6 +44,46 @@ pub struct ReplicaStats {
     /// Times the adaptive control plane ejected this replica as a gray
     /// (slow-but-alive) failure.
     pub gray_ejections: u64,
+    /// Persistent storage bit flips landed on this replica's protected
+    /// code plane by the shield fault model.
+    pub storage_flips: u64,
+    /// Single-bit storage errors the background scrubber corrected in
+    /// place.
+    pub scrub_corrected: u64,
+    /// Single-bit storage errors corrected transiently on the request
+    /// read path (the scrubber still owns the in-place fix).
+    pub read_corrected: u64,
+    /// Uncorrectable (double-bit) storage detections.
+    pub scrub_uncorrectable: u64,
+    /// Regions quarantined by an uncorrectable detection.
+    pub quarantines: u64,
+    /// Quarantined regions repaired bit-exactly from the f32 masters.
+    pub repairs: u64,
+}
+
+/// Per-replica shield runtime: the parity plane over this replica's
+/// resident quantized codes, the persistent storage-fault stream that
+/// rots it, and the scrub-window cursor tying the two together.
+pub struct ShieldState {
+    /// Parity plane + scrub cursor + integrity counters.
+    pub shield: Shield,
+    /// Persistent storage fault stream (deterministic per replica/window).
+    pub faults: StorageFaultModel,
+    /// Next scrub window index — each window's faults are injected after
+    /// the pass that would have corrected the previous window's.
+    pub window: u64,
+}
+
+impl ShieldState {
+    /// Protect `model`'s parameters as `spec.format` codes. `None` when
+    /// the format has no code plane to protect (f32 carrier).
+    pub fn build(model: &Model, spec: &ReplicaSpec, cfg: &ShieldConfig) -> Option<Self> {
+        Some(Self {
+            shield: qt_serve::shield_model(model, spec.format)?,
+            faults: StorageFaultModel::new(cfg.storage_seed, cfg.storage_ber),
+            window: 0,
+        })
+    }
 }
 
 /// One serving replica.
@@ -59,6 +100,9 @@ pub struct Replica {
     pub stats: ReplicaStats,
     /// Virtual time of the most recent recovery, if any.
     pub last_recovery_us: Option<u64>,
+    /// ECC shield over this replica's quantized storage (None =
+    /// unprotected, the historical shape).
+    pub shield: Option<ShieldState>,
 }
 
 impl Replica {
@@ -90,7 +134,21 @@ impl Replica {
             spec,
             stats: ReplicaStats::default(),
             last_recovery_us: None,
+            shield: None,
         }
+    }
+
+    /// Attach an ECC shield over this replica's quantized code storage.
+    /// A no-op for formats without a code plane (f32 carrier).
+    pub fn with_shield(mut self, cfg: &ShieldConfig) -> Self {
+        self.shield = ShieldState::build(self.engine.model(), &self.spec, cfg);
+        self
+    }
+
+    /// Whether any protected region is currently quarantined — primary
+    /// serving must route down the degraded path until repair lands.
+    pub fn shield_quarantined(&self) -> bool {
+        self.shield.as_ref().is_some_and(|s| s.shield.has_quarantine())
     }
 
     /// The serving engine.
@@ -146,6 +204,15 @@ impl Replica {
         let mut b = CircuitBreaker::with_initial_trips(self.spec.breaker, trips);
         b.force_open(now_us);
         self.breaker.replace(b);
+        // A reboot reloads the quantized plane from the f32 masters:
+        // pristine codes, fresh parity, quarantines gone. The storage
+        // fault *stream* continues — rot is a property of the hardware,
+        // not of the data it damaged.
+        if let Some(s) = self.shield.as_mut() {
+            if let Some(fresh) = qt_serve::shield_model(self.engine.model(), self.spec.format) {
+                s.shield = fresh;
+            }
+        }
         self.stats.recoveries += 1;
         self.last_recovery_us = Some(now_us);
     }
@@ -230,16 +297,35 @@ impl DirSnapStore {
     pub fn path(&self, replica: usize) -> PathBuf {
         self.dir.join(format!("replica{replica}.json"))
     }
+
+    /// The SEC-DED parity sidecar guarding `replica`'s snapshot bytes.
+    pub fn ecc_path(&self, replica: usize) -> PathBuf {
+        self.dir.join(format!("replica{replica}.json.ecc"))
+    }
 }
 
 impl SnapStore for DirSnapStore {
     fn save(&mut self, replica: usize, snap: &HealthSnapshot) -> std::io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
-        snap.save(&self.path(replica))
+        let path = self.path(replica);
+        snap.save(&path)?;
+        let bytes = std::fs::read(&path)?;
+        qt_ckpt::atomic_write(&self.ecc_path(replica), &qt_ckpt::ecc_plane(&bytes))
     }
 
     fn load(&self, replica: usize) -> Result<HealthSnapshot, SnapshotError> {
-        HealthSnapshot::load(&self.path(replica))
+        let path = self.path(replica);
+        // Parity sidecar first: a single flipped storage bit is corrected
+        // (and healed on disk) before the JSON parse would reject the
+        // snapshot as corrupt. Anything worse still fails loudly below.
+        if let (Ok(mut bytes), Ok(plane)) =
+            (std::fs::read(&path), std::fs::read(self.ecc_path(replica)))
+        {
+            if let qt_ckpt::EccOutcome::Corrected(_) = qt_ckpt::ecc_verify(&mut bytes, &plane) {
+                let _ = qt_ckpt::atomic_write(&path, &bytes);
+            }
+        }
+        HealthSnapshot::load(&path)
     }
 }
 
@@ -324,5 +410,51 @@ mod tests {
         std::fs::write(s.path(1), "not json").unwrap();
         assert!(matches!(s.load(1), Err(SnapshotError::Corrupt(_))));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dir_store_sidecar_heals_single_bit_rot() {
+        let dir = std::env::temp_dir().join("qt_fleet_dirsnap_ecc_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut s = DirSnapStore::new(&dir);
+        s.save(2, &snap_with_trips(9)).unwrap();
+        assert!(s.ecc_path(2).exists(), "parity sidecar written");
+        // Flip one storage bit mid-file: plain JSON+schema validation
+        // would reject this as corrupt; the sidecar corrects it.
+        let mut bytes = std::fs::read(s.path(2)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(s.path(2), &bytes).unwrap();
+        assert_eq!(s.load(2).unwrap().breaker_trips, 9, "rot corrected");
+        // And the correction was healed back onto disk.
+        let healed = std::fs::read(s.path(2)).unwrap();
+        assert_eq!(healed[mid], bytes[mid] ^ 0x10);
+        // Two flipped bits in one 8-byte word exceed SEC-DED: loud corrupt
+        // (byte 2 mangles the `schema` key, so the parse must reject).
+        let mut bytes = std::fs::read(s.path(2)).unwrap();
+        bytes[2] ^= 0x21;
+        std::fs::write(s.path(2), &bytes).unwrap();
+        assert!(matches!(s.load(2), Err(SnapshotError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shield_attaches_and_recovery_rebuilds_pristine() {
+        use crate::config::ShieldConfig;
+        let spec = ReplicaSpec::new(ElemFormat::P8E1);
+        let mut r = Replica::new(0, tiny_model(), spec, Box::new(NoFaults), 1)
+            .with_shield(&ShieldConfig::default());
+        assert!(r.shield.is_some());
+        assert!(!r.shield_quarantined());
+        // Double-bit rot quarantines a region...
+        let st = r.shield.as_mut().unwrap();
+        st.shield.inject(0, 0, 2);
+        st.shield.inject(0, 0, 44);
+        st.shield.verify_reads();
+        assert!(r.shield_quarantined());
+        // ...and a reboot reloads the plane from the masters: pristine.
+        r.recover(Err(SnapshotError::Missing), 10);
+        assert!(!r.shield_quarantined());
+        assert_eq!(r.shield.as_ref().unwrap().shield.stats().flips_injected, 0);
     }
 }

@@ -223,6 +223,12 @@ impl ReplicaReport {
             "snapshot_corrupt": self.stats.snapshot_corrupt,
             "max_queue_depth": self.stats.max_queue_depth,
             "gray_ejections": self.stats.gray_ejections,
+            "storage_flips": self.stats.storage_flips,
+            "scrub_corrected": self.stats.scrub_corrected,
+            "read_corrected": self.stats.read_corrected,
+            "scrub_uncorrectable": self.stats.scrub_uncorrectable,
+            "quarantines": self.stats.quarantines,
+            "repairs": self.stats.repairs,
             "breaker_trips": self.breaker_trips,
             "final_breaker": self.final_breaker.name(),
         })
@@ -294,6 +300,21 @@ pub struct FleetReport {
     pub brownout_peak: String,
     /// Every adaptive-control decision, in virtual-time order.
     pub adapt_events: Vec<AdaptEvent>,
+    /// Persistent storage bit flips landed on protected code planes.
+    pub storage_flips: u64,
+    /// Single-bit storage errors corrected in place by scrubbers.
+    pub scrub_corrected: u64,
+    /// Single-bit storage errors corrected transiently on read paths.
+    pub read_corrected: u64,
+    /// Uncorrectable (double-bit) storage detections fleet-wide.
+    pub scrub_uncorrectable: u64,
+    /// Storage regions quarantined.
+    pub quarantines: u64,
+    /// Quarantined regions repaired from the f32 masters.
+    pub repairs: u64,
+    /// Every quarantine/repair decision, in virtual-time order (kinds
+    /// `quarantine` and `repair`, detail = region index).
+    pub integrity_events: Vec<AdaptEvent>,
 }
 
 impl FleetReport {
@@ -388,6 +409,13 @@ impl FleetReport {
             "scale_downs": self.scale_downs,
             "brownout_peak": self.brownout_peak.clone(),
             "adapt_events": self.adapt_events.iter().map(|e| e.to_json()).collect::<Vec<_>>(),
+            "storage_flips": self.storage_flips,
+            "scrub_corrected": self.scrub_corrected,
+            "read_corrected": self.read_corrected,
+            "scrub_uncorrectable": self.scrub_uncorrectable,
+            "quarantines": self.quarantines,
+            "repairs": self.repairs,
+            "integrity_events": self.integrity_events.iter().map(|e| e.to_json()).collect::<Vec<_>>(),
             "replicas": replicas,
             "end_us": self.end_us,
         })
@@ -468,6 +496,18 @@ mod tests {
                 replica: None,
                 detail: 1.0,
             }],
+            storage_flips: 3,
+            scrub_corrected: 2,
+            read_corrected: 1,
+            scrub_uncorrectable: 1,
+            quarantines: 1,
+            repairs: 1,
+            integrity_events: vec![AdaptEvent {
+                at_us: 20,
+                kind: "quarantine",
+                replica: Some(0),
+                detail: 4.0,
+            }],
         };
         assert!(report.reconciles());
         assert_eq!(report.shed_total(), 6);
@@ -478,5 +518,8 @@ mod tests {
         assert_eq!(j["shed_overload"].as_u64(), Some(2));
         assert_eq!(j["brownout_peak"], "shed_batch");
         assert_eq!(j["adapt_events"][0]["kind"], "brownout_up");
+        assert_eq!(j["scrub_corrected"].as_u64(), Some(2));
+        assert_eq!(j["integrity_events"][0]["kind"], "quarantine");
+        assert_eq!(j["integrity_events"][0]["detail"].as_f64(), Some(4.0));
     }
 }

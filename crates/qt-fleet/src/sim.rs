@@ -11,10 +11,10 @@
 //!
 //! Event ordering at equal timestamps is fixed by kind rank: completions
 //! free workers first, then failed requests re-route, then lifecycle
-//! transitions fire, then autoscale boots complete, then new arrivals
-//! are admitted, then the adaptive control plane evaluates, then
-//! snapshots are written. Ties within a kind break by insertion
-//! sequence. This total order is what makes crash-instant races (a pass
+//! transitions fire, then storage repairs land, then autoscale boots
+//! complete, then new arrivals are admitted, then the adaptive control
+//! plane evaluates, then scrub windows run, then snapshots are written.
+//! Ties within a kind break by insertion sequence. This total order is what makes crash-instant races (a pass
 //! finishing at exactly `down_at`, a failover leaving as the queue
 //! drains) deterministic instead of racy.
 //!
@@ -43,7 +43,7 @@ use qt_adapt::{
 };
 use qt_quant::HealthWindow;
 use qt_robust::{cell_seed, FaultSource, LifecycleEvent, NoFaults};
-use qt_serve::{Backoff, BreakerState, Request};
+use qt_serve::{integrity_health, pristine_codes_for_region, Backoff, BreakerState, Request};
 use qt_telemetry::TelemetryHandle;
 use qt_trace::{LogHist, TraceHandle};
 use qt_transformer::Model;
@@ -99,6 +99,9 @@ enum Ev {
     Failover(Box<Job>, DispatchCause),
     /// A replica crashes or finishes rebooting.
     Lifecycle(usize, LifecycleEvent),
+    /// A quarantined storage region's repair completes on replica `.0`,
+    /// region index `.1`: the plane is rebuilt from the f32 masters.
+    Repair(usize, usize),
     /// An autoscale boot completes: replica `.0` comes out of reserve
     /// through the snapshot-recovery path.
     Scale(usize),
@@ -106,6 +109,8 @@ enum Ev {
     Arrival(Box<FleetRequest>),
     /// Periodic adaptive-control evaluation.
     AdaptTick,
+    /// Periodic background scrub window on replica `.0`.
+    ScrubTick(usize),
     /// Periodic health-snapshot persistence.
     SnapshotTick,
 }
@@ -116,10 +121,12 @@ impl Ev {
             Ev::Done(..) => 0,
             Ev::Failover(..) => 1,
             Ev::Lifecycle(..) => 2,
-            Ev::Scale(..) => 3,
-            Ev::Arrival(..) => 4,
-            Ev::AdaptTick => 5,
-            Ev::SnapshotTick => 6,
+            Ev::Repair(..) => 3,
+            Ev::Scale(..) => 4,
+            Ev::Arrival(..) => 5,
+            Ev::AdaptTick => 6,
+            Ev::ScrubTick(..) => 7,
+            Ev::SnapshotTick => 8,
         }
     }
 }
@@ -255,7 +262,11 @@ fn run_episode(r: &Replica, job: &Job, start_us: u64, can_failover: bool, seed: 
             return done(EpisodeEnd::FailoverCrash { at: c }, attempts, flagged_local, bits, false, attempt_log);
         }
         let budget = deadline_blocks.min(crash_blocks);
+        // A quarantined storage region forces the degraded path: the
+        // quantized plane is known-bad until repair re-quantizes it, and
+        // the BF16 path reads the untouched f32 masters.
         let primary = !force_degraded
+            && !r.shield_quarantined()
             && r.breaker.borrow().state() != BreakerState::Open
             && flagged_local < max_local;
         let attempt_start = t;
@@ -342,6 +353,8 @@ struct Acc {
     end_us: u64,
     dispatches: Vec<Dispatch>,
     responses: Vec<FleetResponse>,
+    /// Quarantine/repair decisions, in virtual-time order.
+    integrity_events: Vec<AdaptEvent>,
 }
 
 /// The adaptive control plane's sim-side state: the qt-adapt decision
@@ -456,7 +469,11 @@ impl Fleet {
         faults.truncate(cfg.replicas.len());
         let mut replicas = Vec::with_capacity(cfg.replicas.len());
         for (id, (spec, fault)) in cfg.replicas.iter().cloned().zip(faults).enumerate() {
-            replicas.push(Replica::new(id, model.clone(), spec, fault, cfg.retry_seed));
+            let mut r = Replica::new(id, model.clone(), spec, fault, cfg.retry_seed);
+            if let Some(sc) = &cfg.shield {
+                r = r.with_shield(sc);
+            }
+            replicas.push(r);
         }
         let n = replicas.len();
         let adapt = AdaptState::new(&cfg, n);
@@ -746,6 +763,22 @@ impl Fleet {
                 tel.borrow_mut().queue_wait(now, r, wait);
             }
         }
+        // Read-path integrity check before the engine fetches weights:
+        // single-bit rot is corrected transiently (the scrubber owns the
+        // in-place fix); a double-bit detection quarantines *now*, so
+        // this very episode already routes down the degraded path.
+        if self.replicas[r].shield.is_some() {
+            let out = self.replicas[r].shield.as_mut().unwrap().shield.verify_reads();
+            if out.corrected > 0 {
+                self.replicas[r].stats.read_corrected += out.corrected;
+                if let Some(tel) = self.telemetry.clone() {
+                    tel.borrow_mut().read_corrected(now, r, out.corrected);
+                }
+            }
+            for region in out.quarantined {
+                self.on_quarantine(r, region, now);
+            }
+        }
         let can_failover =
             self.replicas.len() > 1 && job.failovers < self.cfg.max_failovers && !job.economy;
         let ep = run_episode(&self.replicas[r], &job, now, can_failover, self.cfg.retry_seed);
@@ -1020,6 +1053,127 @@ impl Fleet {
         self.adapt = Some(a);
     }
 
+    /// Record a newly quarantined region on `r`: counters, the breaker
+    /// signal (uncorrectable storage is fed to the breaker as the
+    /// non-finite read it would eventually become), telemetry, the audit
+    /// trail, and the scheduled repair completion.
+    fn on_quarantine(&mut self, r: usize, region: usize, now: u64) {
+        let Some(sc) = self.cfg.shield else {
+            return;
+        };
+        let (elements, words) = {
+            let s = self.replicas[r].shield.as_ref().expect("quarantine without shield");
+            let reg = &s.shield.regions()[region];
+            (reg.codes_len() as u64, reg.words() as u64)
+        };
+        {
+            let stats = &mut self.replicas[r].stats;
+            stats.scrub_uncorrectable += 1;
+            stats.quarantines += 1;
+        }
+        self.replicas[r]
+            .breaker
+            .get_mut()
+            .on_primary_outcome(&integrity_health(elements, 1), now);
+        self.acc.integrity_events.push(AdaptEvent {
+            at_us: now,
+            kind: "quarantine",
+            replica: Some(r),
+            detail: region as f64,
+        });
+        if let Some(tel) = self.telemetry.clone() {
+            tel.borrow_mut().quarantine(now, r, region);
+        }
+        self.push_ev(now + words * sc.repair_us_per_word, Ev::Repair(r, region));
+    }
+
+    /// One background scrub window on `r`: decode under the bandwidth
+    /// budget (correcting single-bit rot in place), quarantine double-bit
+    /// detections, then — when another window follows — land the next
+    /// window's storage faults, so every injected fault gets exactly one
+    /// later pass to be caught by.
+    fn scrub_tick(&mut self, r: usize, now: u64, inject_next: bool) {
+        let Some(sc) = self.cfg.shield else {
+            return;
+        };
+        // A down replica's storage is moot: the reboot reloads the plane
+        // from the f32 masters anyway (see Replica::recover).
+        if !self.replicas[r].is_up(now) || self.replicas[r].shield.is_none() {
+            return;
+        }
+        let out = {
+            let state = self.replicas[r].shield.as_mut().unwrap();
+            state.shield.scrub(sc.scrub_budget_words)
+        };
+        let corrected = out.corrected.len() as u64;
+        self.replicas[r].stats.scrub_corrected += corrected;
+        if corrected > 0 || !out.quarantined.is_empty() {
+            if let Some(tel) = self.telemetry.clone() {
+                tel.borrow_mut()
+                    .scrub(now, r, corrected, out.quarantined.len() as u64);
+            }
+        }
+        for region in out.quarantined {
+            self.on_quarantine(r, region, now);
+        }
+        if inject_next {
+            let state = self.replicas[r].shield.as_mut().unwrap();
+            let total_bits = state.shield.total_bits();
+            let window = state.window;
+            state.window += 1;
+            let flips = state.faults.window_flips(r, window, total_bits);
+            for &bit in &flips {
+                state.shield.inject_global_bit(bit);
+            }
+            self.replicas[r].stats.storage_flips += flips.len() as u64;
+        }
+    }
+
+    /// A quarantined region's repair completes: re-quantize the pristine
+    /// f32 masters and swap the plane back in, bit-exact. A reboot in
+    /// the interim already reloaded everything, so a stale repair
+    /// no-ops; a repair landing while the replica is down is moot for
+    /// the same reason.
+    fn finish_repair(&mut self, r: usize, region: usize, now: u64) {
+        let Some(sc) = self.cfg.shield else {
+            return;
+        };
+        if !self.replicas[r].is_up(now) {
+            return;
+        }
+        let quarantined = self.replicas[r].shield.as_ref().is_some_and(|s| {
+            s.shield
+                .regions()
+                .get(region)
+                .is_some_and(|g| g.is_quarantined())
+        });
+        if !quarantined {
+            return;
+        }
+        let format = self.replicas[r].spec.format;
+        let Some(codes) = pristine_codes_for_region(self.replicas[r].engine(), format, region)
+        else {
+            return;
+        };
+        let words = {
+            let rep = &mut self.replicas[r];
+            let state = rep.shield.as_mut().unwrap();
+            state.shield.repair_region(region, &codes);
+            rep.stats.repairs += 1;
+            state.shield.regions()[region].words() as u64
+        };
+        self.acc.integrity_events.push(AdaptEvent {
+            at_us: now,
+            kind: "repair",
+            replica: Some(r),
+            detail: region as f64,
+        });
+        if let Some(tel) = self.telemetry.clone() {
+            tel.borrow_mut()
+                .repair(now, r, region, words * sc.repair_us_per_word);
+        }
+    }
+
     /// Run the fleet over `requests` (sorted by arrival). Consumes the
     /// fleet: one run per construction, so no state leaks between runs.
     pub fn run(mut self, requests: &[FleetRequest], trace: Option<&TraceHandle>) -> FleetReport {
@@ -1041,6 +1195,11 @@ impl Fleet {
         }
         if let Some(every) = self.adapt.as_ref().map(|a| a.every_us) {
             self.push_ev(every, Ev::AdaptTick);
+        }
+        if let Some(sc) = self.cfg.shield {
+            for r in 0..self.replicas.len() {
+                self.push_ev(sc.scrub_every_us, Ev::ScrubTick(r));
+            }
         }
 
         while let Some(Entry { at: now, ev, .. }) = self.heap.pop() {
@@ -1221,6 +1380,19 @@ impl Fleet {
                         self.push_ev(now + every, Ev::AdaptTick);
                     }
                 }
+                Ev::Repair(r, region) => {
+                    self.finish_repair(r, region, now);
+                }
+                Ev::ScrubTick(r) => {
+                    let every = self.cfg.shield.map(|s| s.scrub_every_us).unwrap_or(0);
+                    // The final window scrubs without injecting, so every
+                    // injected fault sees at least one later pass.
+                    let more = every > 0 && now < last_arrival;
+                    self.scrub_tick(r, now, more);
+                    if more {
+                        self.push_ev(now + every, Ev::ScrubTick(r));
+                    }
+                }
                 Ev::SnapshotTick => {
                     for id in 0..self.replicas.len() {
                         if self.replicas[id].is_up(now) {
@@ -1274,8 +1446,18 @@ impl Fleet {
                 final_breaker: r.breaker_state(),
             })
             .collect();
+        let sum = |f: fn(&crate::replica::ReplicaStats) -> u64| {
+            self.replicas.iter().map(|r| f(&r.stats)).sum::<u64>()
+        };
         let report = FleetReport {
             policy: self.cfg.policy.name().to_string(),
+            storage_flips: sum(|s| s.storage_flips),
+            scrub_corrected: sum(|s| s.scrub_corrected),
+            read_corrected: sum(|s| s.read_corrected),
+            scrub_uncorrectable: sum(|s| s.scrub_uncorrectable),
+            quarantines: sum(|s| s.quarantines),
+            repairs: sum(|s| s.repairs),
+            integrity_events: acc.integrity_events,
             offered: requests.len() as u64,
             served_primary: acc.served_primary,
             served_degraded: acc.served_degraded,
@@ -1359,6 +1541,12 @@ impl Fleet {
             m.counter_add("fleet.gray_ejections", &[], report.gray_ejections);
             m.counter_add("fleet.scale_ups", &[], report.scale_ups);
             m.counter_add("fleet.scale_downs", &[], report.scale_downs);
+            m.counter_add("fleet.storage_flips", &[], report.storage_flips);
+            m.counter_add("fleet.scrub_corrected", &[], report.scrub_corrected);
+            m.counter_add("fleet.read_corrected", &[], report.read_corrected);
+            m.counter_add("fleet.scrub_uncorrectable", &[], report.scrub_uncorrectable);
+            m.counter_add("fleet.quarantines", &[], report.quarantines);
+            m.counter_add("fleet.repairs", &[], report.repairs);
             for r in &report.responses {
                 if !r.outcome.is_shed() {
                     m.observe("fleet.latency_us", &[], r.latency_us as f32);
@@ -1913,6 +2101,102 @@ mod tests {
             );
             assert_eq!(t.outcome.as_deref(), Some(resp.outcome.name()));
         }
+    }
+
+    #[test]
+    fn shielded_fleet_scrubs_storage_rot_without_losing_service() {
+        use crate::config::ShieldConfig;
+        let model = tiny_model();
+        let pass = model.blocks_per_forward() * ReplicaSpec::BASE_BLOCK_US;
+        let cfg = FleetConfig {
+            replicas: vec![ReplicaSpec::new(ElemFormat::P8E1); 2],
+            shield: Some(ShieldConfig {
+                scrub_every_us: 2 * pass,
+                scrub_budget_words: usize::MAX,
+                storage_ber: 2e-5,
+                storage_seed: 77,
+                repair_us_per_word: 1,
+            }),
+            ..FleetConfig::default()
+        };
+        let reqs = light_load(&model, 2, 30);
+        let mk = || {
+            run_fleet(
+                &model,
+                &cfg,
+                &reqs,
+                Vec::new(),
+                Box::new(MemSnapStore::new()),
+                None,
+            )
+        };
+        let a = mk();
+        assert!(a.reconciles(), "{a:?}");
+        assert!(a.storage_flips > 0, "fault model must land rot");
+        assert!(a.scrub_corrected > 0, "scrubber must correct in place");
+        // Every uncorrectable detection quarantined exactly one region.
+        assert_eq!(a.quarantines, a.scrub_uncorrectable);
+        // Storage rot never cost a response: everything still served.
+        assert_eq!(a.served_primary + a.served_degraded, a.offered);
+        // Deterministic replay, down to the JSON bytes.
+        let b = mk();
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string(&a.to_json()).unwrap(),
+            serde_json::to_string(&b.to_json()).unwrap()
+        );
+    }
+
+    #[test]
+    fn double_bit_rot_quarantines_degrades_then_repairs() {
+        use crate::config::ShieldConfig;
+        let model = tiny_model();
+        let pass = model.blocks_per_forward() * ReplicaSpec::BASE_BLOCK_US;
+        let cfg = FleetConfig {
+            // One replica, no failover target: quarantine must force the
+            // local degraded path, not a re-route.
+            replicas: vec![ReplicaSpec::new(ElemFormat::P8E1)],
+            shield: Some(ShieldConfig {
+                scrub_every_us: 4 * pass,
+                scrub_budget_words: usize::MAX,
+                storage_ber: 0.0,
+                storage_seed: 1,
+                repair_us_per_word: 1,
+            }),
+            ..FleetConfig::default()
+        };
+        let reqs = light_load(&model, 3, 12);
+        let mut fleet = Fleet::new(
+            &model,
+            cfg.clone(),
+            Vec::new(),
+            Box::new(MemSnapStore::new()),
+        );
+        // Scripted double-bit rot in region 0 before any service: the
+        // first read-path verification must quarantine it.
+        let st = fleet.replicas[0].shield.as_mut().unwrap();
+        st.shield.inject(0, 1, 7);
+        st.shield.inject(0, 1, 52);
+        let report = fleet.run(&reqs, None);
+        assert!(report.reconciles(), "{report:?}");
+        assert_eq!(report.quarantines, 1, "{report:?}");
+        assert_eq!(report.repairs, 1, "repair restored the region");
+        assert!(
+            report.served_degraded >= 1,
+            "quarantine forced degraded service: {report:?}"
+        );
+        assert_eq!(report.served_primary + report.served_degraded, report.offered);
+        // Audit trail: the quarantine precedes its repair, same region.
+        let kinds: Vec<&str> = report.integrity_events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["quarantine", "repair"]);
+        assert_eq!(report.integrity_events[0].detail, 0.0);
+        assert_eq!(report.integrity_events[1].detail, 0.0);
+        assert!(
+            report.integrity_events[0].at_us <= report.integrity_events[1].at_us
+        );
+        // After the repair lands, later responses are primary again.
+        let last = report.responses.iter().max_by_key(|r| r.finish_us).unwrap();
+        assert_eq!(last.outcome, FleetOutcome::ServedPrimary, "{report:?}");
     }
 
     #[test]

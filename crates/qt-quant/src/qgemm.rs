@@ -83,6 +83,14 @@ impl QuantizedTensor {
         &self.codes
     }
 
+    /// Mutable view of the stored code words — the surface fault
+    /// injectors and integrity shields (qt-shield) operate on. Code
+    /// values past the format's bit width have no decode meaning;
+    /// writers are expected to stay within [`ElemFormat::bits`].
+    pub fn codes_mut(&mut self) -> &mut [u16] {
+        &mut self.codes
+    }
+
     /// Decode back to the f32 values the datapath computes with.
     pub fn dequantize(&self) -> Tensor {
         let lut = DecodeLut::new(self.format);

@@ -9,7 +9,7 @@
 //! upset has very different consequences, and very different odds of
 //! being caught by a zero-cost non-finite check at read time.
 
-use crate::inject::{BitFlipInjector, CodeFormat, InjectionReport};
+use crate::inject::{BitFlipInjector, CodeFormat, FlipPos, InjectionReport};
 use qt_accel::SramFaultModel;
 use qt_quant::ElemFormat;
 use qt_transformer::Model;
@@ -161,14 +161,39 @@ pub fn corrupt_model(
     rate: f64,
     injector: &mut BitFlipInjector,
 ) -> (Model, InjectionReport) {
+    let (m, r, _) = corrupt_model_logged(model, codec, rate, injector);
+    (m, r)
+}
+
+/// [`corrupt_model`] with every flip's exact position logged as
+/// `(tensor name, position)` in injection order. The RNG stream is
+/// identical to the unlogged variant, so the same injector seed yields
+/// the same corruption either way — integrity campaigns use this to
+/// audit corrected-vs-injected bit by bit.
+pub fn corrupt_model_logged(
+    model: &Model,
+    codec: CodeFormat,
+    rate: f64,
+    injector: &mut BitFlipInjector,
+) -> (Model, InjectionReport, Vec<(String, FlipPos)>) {
     let mut corrupted = model.clone();
     let mut report = InjectionReport::default();
+    let mut flips = Vec::new();
     for name in corrupted.params.names() {
-        let (t, r) = injector.corrupt_tensor(corrupted.params.get(&name), codec, rate);
+        let (mut codes, shape) = {
+            let t = corrupted.params.get(&name);
+            let codes: Vec<u16> = t.data().iter().map(|&x| codec.encode(x)).collect();
+            (codes, t.shape().to_vec())
+        };
+        let (r, pos) = injector.corrupt_codes_logged(&mut codes, codec, rate);
         report.merge(&r);
-        corrupted.params.insert(name, t);
+        flips.extend(pos.into_iter().map(|p| (name.clone(), p)));
+        let data = codes.iter().map(|&c| codec.decode(c)).collect();
+        corrupted
+            .params
+            .insert(name, qt_tensor::Tensor::from_vec(data, &shape));
     }
-    (corrupted, report)
+    (corrupted, report, flips)
 }
 
 /// [`corrupt_model`] with an exact total flip budget (e.g. derived from

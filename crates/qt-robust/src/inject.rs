@@ -71,6 +71,19 @@ impl CodeFormat {
     }
 }
 
+/// Exact position of one injected flip inside a code buffer.
+///
+/// Integrity campaigns log these alongside the [`InjectionReport`]
+/// counters so corrected-vs-injected can be audited bit by bit (the
+/// qt-shield scrubber reports the positions it fixed in the same shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FlipPos {
+    /// Index of the hit word (element) in the buffer.
+    pub word: usize,
+    /// Flipped bit within the stored code.
+    pub bit: u8,
+}
+
 /// What one injection pass did to a buffer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InjectionReport {
@@ -122,17 +135,32 @@ impl BitFlipInjector {
 
     /// Flip each bit of each code independently with probability `rate`.
     pub fn corrupt_codes(&mut self, codes: &mut [u16], codec: CodeFormat, rate: f64) -> InjectionReport {
+        self.corrupt_codes_logged(codes, codec, rate).0
+    }
+
+    /// [`BitFlipInjector::corrupt_codes`], additionally returning the
+    /// exact position of every flip in injection order. Consumes the RNG
+    /// stream identically, so a given seed produces the same corruption
+    /// whether or not positions are logged.
+    pub fn corrupt_codes_logged(
+        &mut self,
+        codes: &mut [u16],
+        codec: CodeFormat,
+        rate: f64,
+    ) -> (InjectionReport, Vec<FlipPos>) {
         let bits = codec.bits();
         let mut report = InjectionReport {
             elements: codes.len() as u64,
             ..Default::default()
         };
-        for code in codes.iter_mut() {
+        let mut flips = Vec::new();
+        for (i, code) in codes.iter_mut().enumerate() {
             let mut hit = false;
             for b in 0..bits {
                 if self.rng.gen_bool(rate) {
                     *code ^= 1 << b;
                     report.bits_flipped += 1;
+                    flips.push(FlipPos { word: i, bit: b as u8 });
                     hit = true;
                 }
             }
@@ -143,7 +171,7 @@ impl BitFlipInjector {
                 }
             }
         }
-        report
+        (report, flips)
     }
 
     /// Flip exactly `n_flips` uniformly-chosen bits (with replacement
@@ -157,6 +185,17 @@ impl BitFlipInjector {
         codec: CodeFormat,
         n_flips: u64,
     ) -> InjectionReport {
+        self.corrupt_codes_exact_logged(codes, codec, n_flips).0
+    }
+
+    /// [`BitFlipInjector::corrupt_codes_exact`] with the exact flip
+    /// positions logged in draw order (RNG stream unchanged).
+    pub fn corrupt_codes_exact_logged(
+        &mut self,
+        codes: &mut [u16],
+        codec: CodeFormat,
+        n_flips: u64,
+    ) -> (InjectionReport, Vec<FlipPos>) {
         let bits = codec.bits() as usize;
         let mut report = InjectionReport {
             elements: codes.len() as u64,
@@ -165,13 +204,15 @@ impl BitFlipInjector {
         };
         if codes.is_empty() {
             report.bits_flipped = 0;
-            return report;
+            return (report, Vec::new());
         }
+        let mut flips = Vec::with_capacity(n_flips as usize);
         let mut hit = vec![false; codes.len()];
         for _ in 0..n_flips {
             let pos = self.rng.gen_range(0..codes.len() * bits);
             let (word, bit) = (pos / bits, pos % bits);
             codes[word] ^= 1 << bit;
+            flips.push(FlipPos { word, bit: bit as u8 });
             hit[word] = true;
         }
         for (i, &h) in hit.iter().enumerate() {
@@ -182,7 +223,7 @@ impl BitFlipInjector {
                 }
             }
         }
-        report
+        (report, flips)
     }
 
     /// Flip each bit of a raw byte buffer independently with probability
@@ -301,6 +342,41 @@ mod tests {
         let (_, r) = inj.corrupt_tensor_exact(&t, codec, 10);
         assert_eq!(r.bits_flipped, 10);
         assert!(r.words_hit >= 1 && r.words_hit <= 10);
+    }
+
+    #[test]
+    fn logged_positions_match_actual_flips() {
+        let codec = CodeFormat::new(ElemFormat::E4M3).unwrap();
+        let original: Vec<u16> = (0..512).map(|i| codec.encode(i as f32 * 0.03 - 7.0)).collect();
+        let mut codes = original.clone();
+        let mut inj = BitFlipInjector::new(42);
+        let (report, flips) = inj.corrupt_codes_logged(&mut codes, codec, 0.01);
+        assert_eq!(report.bits_flipped, flips.len() as u64);
+        assert!(report.bits_flipped > 0);
+        // Replaying the logged positions undoes the corruption exactly.
+        for f in &flips {
+            codes[f.word] ^= 1 << f.bit;
+        }
+        assert_eq!(codes, original);
+        // And the unlogged variant consumes the identical RNG stream.
+        let mut codes2 = original.clone();
+        let r2 = BitFlipInjector::new(42).corrupt_codes(&mut codes2, codec, 0.01);
+        assert_eq!(r2, report);
+    }
+
+    #[test]
+    fn logged_exact_positions_match_actual_flips() {
+        let codec = CodeFormat::new(ElemFormat::P8E1).unwrap();
+        let original: Vec<u16> = (0..128).map(|i| codec.encode(i as f32 * 0.1)).collect();
+        let mut codes = original.clone();
+        let mut inj = BitFlipInjector::new(5);
+        let (report, flips) = inj.corrupt_codes_exact_logged(&mut codes, codec, 9);
+        assert_eq!(report.bits_flipped, 9);
+        assert_eq!(flips.len(), 9);
+        for f in &flips {
+            codes[f.word] ^= 1 << f.bit;
+        }
+        assert_eq!(codes, original);
     }
 
     #[test]

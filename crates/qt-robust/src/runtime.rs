@@ -10,9 +10,11 @@
 //! [`crate::campaign::cell_seed`], so a serving trace replays exactly and
 //! is independent of the order requests are processed in.
 
-use crate::campaign::{cell_seed, corrupt_model};
-use crate::inject::{BitFlipInjector, CodeFormat, InjectionReport};
+use crate::campaign::{cell_seed, corrupt_model, corrupt_model_logged};
+use crate::inject::{BitFlipInjector, CodeFormat, FlipPos, InjectionReport};
 use qt_transformer::Model;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A deterministic source of per-request weight corruption.
 ///
@@ -86,6 +88,24 @@ impl BerFaultSource {
     /// The storage format whose codes are attacked.
     pub fn codec(&self) -> CodeFormat {
         self.codec
+    }
+
+    /// Replay the faults `(request_id, attempt)` would see and return
+    /// every flip's exact position as `(tensor name, position)` — the
+    /// injected side of an integrity campaign's corrected-vs-injected
+    /// audit. Identical stream to
+    /// [`FaultSource::corrupt_for_request`]: same seed, same draws.
+    pub fn positions_for_request(
+        &self,
+        model: &Model,
+        request_id: u64,
+        attempt: u32,
+    ) -> Vec<(String, FlipPos)> {
+        if self.ber <= 0.0 {
+            return Vec::new();
+        }
+        let mut inj = BitFlipInjector::new(request_seed(self.seed, request_id, attempt));
+        corrupt_model_logged(model, self.codec, self.ber, &mut inj).2
     }
 }
 
@@ -177,6 +197,62 @@ fn request_seed(master: u64, request_id: u64, attempt: u32) -> u64 {
     cell_seed(master, request_id as usize, attempt as usize, 0)
 }
 
+/// Soft-error model for *persistent* protected storage.
+///
+/// The per-request sources above model transient read upsets: each
+/// attempt sees its own faulted view and the damage vanishes with the
+/// request. ECC-protected storage (qt-shield) needs the complementary
+/// physics — upsets that *land and stay* in the resident code planes
+/// until a scrubber or repair removes them. This model emits, per
+/// (replica, scrub window), the global bit addresses hit across the
+/// protected data **and** parity planes.
+///
+/// The expected hit count per window is `total_bits * ber`; fractional
+/// remainders carry over so the long-run rate is exact even when a
+/// window expects less than one flip. Each window's draws come from an
+/// independent `cell_seed` stream, so campaigns replay bit-for-bit
+/// regardless of scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageFaultModel {
+    seed: u64,
+    ber: f64,
+    carry: f64,
+}
+
+impl StorageFaultModel {
+    /// Model upsetting each stored bit with probability `ber` per scrub
+    /// window, all streams derived from `seed`.
+    pub fn new(seed: u64, ber: f64) -> Self {
+        Self {
+            seed,
+            ber: ber.clamp(0.0, 1.0),
+            carry: 0.0,
+        }
+    }
+
+    /// The per-bit, per-window upset probability.
+    pub fn ber(&self) -> f64 {
+        self.ber
+    }
+
+    /// Bit addresses (in `0..total_bits`) upset during one scrub window.
+    /// Draws are with replacement: a bit hit twice flips back, matching
+    /// independent physical upsets.
+    pub fn window_flips(&mut self, replica: usize, window: u64, total_bits: u64) -> Vec<u64> {
+        if self.ber <= 0.0 || total_bits == 0 {
+            return Vec::new();
+        }
+        self.carry += total_bits as f64 * self.ber;
+        let n = self.carry as u64;
+        self.carry -= n as f64;
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(cell_seed(self.seed, replica, window as usize, 1));
+        (0..n).map(|_| rng.gen_range(0..total_bits)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +296,63 @@ mod tests {
         let src = BerFaultSource::new(1, codec(), 0.0);
         assert!(src.is_noop());
         assert!(src.corrupt_for_request(&model, 0, 0).is_none());
+    }
+
+    #[test]
+    fn positions_replay_the_request_stream_exactly() {
+        let model = tiny_model();
+        let src = BerFaultSource::new(7, codec(), 1e-2);
+        let (corrupted, report) = src.corrupt_for_request(&model, 3, 0).unwrap();
+        let flips = src.positions_for_request(&model, 3, 0);
+        assert_eq!(flips.len() as u64, report.bits_flipped);
+        // Undoing the logged flips in code space restores every tensor.
+        for name in model.params.names() {
+            let mut codes: Vec<u16> = corrupted
+                .params
+                .get(&name)
+                .data()
+                .iter()
+                .map(|&x| src.codec().encode(x))
+                .collect();
+            for (n, p) in &flips {
+                if *n == name {
+                    codes[p.word] ^= 1 << p.bit;
+                }
+            }
+            let pristine: Vec<u16> = model
+                .params
+                .get(&name)
+                .data()
+                .iter()
+                .map(|&x| src.codec().encode(x))
+                .collect();
+            assert_eq!(codes, pristine, "{name}");
+        }
+    }
+
+    #[test]
+    fn storage_fault_model_is_deterministic_with_exact_rate() {
+        let total_bits = 1_000_000u64;
+        let mut a = StorageFaultModel::new(11, 2.5e-6);
+        let mut b = StorageFaultModel::new(11, 2.5e-6);
+        let mut total = 0usize;
+        for w in 0..8 {
+            let fa = a.window_flips(0, w, total_bits);
+            assert_eq!(fa, b.window_flips(0, w, total_bits));
+            assert!(fa.iter().all(|&p| p < total_bits));
+            total += fa.len();
+        }
+        // 8 windows * 2.5 expected flips, carry makes the total exact.
+        assert_eq!(total, 20);
+        // Different replicas draw independent streams.
+        let mut c = StorageFaultModel::new(11, 2.5e-6);
+        assert_ne!(c.window_flips(1, 0, total_bits), {
+            let mut d = StorageFaultModel::new(11, 2.5e-6);
+            d.window_flips(0, 0, total_bits)
+        });
+        // Zero BER is silent.
+        let mut z = StorageFaultModel::new(11, 0.0);
+        assert!(z.window_flips(0, 0, total_bits).is_empty());
     }
 
     #[test]

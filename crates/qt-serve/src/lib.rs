@@ -36,6 +36,7 @@ pub mod queue;
 pub mod request;
 pub mod retry;
 pub mod server;
+pub mod shield;
 pub mod sim;
 pub mod snapshot;
 
@@ -46,5 +47,6 @@ pub use queue::{BoundedQueue, Rejected};
 pub use request::{OutcomeKind, Request, Response};
 pub use retry::{Backoff, RetryPolicy};
 pub use server::{Server, ServerStats};
+pub use shield::{integrity_health, pristine_codes, pristine_codes_for_region, shield_model};
 pub use sim::{run_sim, run_sim_observed, LoadSpec, ServeReport};
 pub use snapshot::{HealthSnapshot, SnapshotError, SNAPSHOT_SCHEMA};

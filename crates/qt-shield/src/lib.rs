@@ -1,0 +1,33 @@
+//! qt-shield — SEC-DED memory integrity for quantized code storage.
+//!
+//! The paper's runtime keeps 8-bit weight codes resident in accelerator
+//! SRAM — exactly the memory most exposed to soft errors. PR 1's fault
+//! campaigns showed `TensorHealth` can *detect* corruption; this crate
+//! turns detection into *correction*:
+//!
+//! - [`secded`]: a (72,64) Hamming-extended codec — one check byte per
+//!   64-bit word corrects any single flipped bit (data or parity) and
+//!   detects all double flips without ever miscorrecting.
+//! - [`EccRegion`]: a named plane of packed storage codes (four u16
+//!   codes per ECC word) plus its parity plane, with fault injection,
+//!   in-place scrubbing, transient read-path correction, quarantine,
+//!   and bit-exact repair from pristine codes.
+//! - [`Shield`]: a set of regions walked by a budgeted round-robin
+//!   scrub cursor, with the counters and corrected-position log that
+//!   integrity campaigns audit against injected faults.
+//!
+//! The crate is deliberately zero-dependency and clock-free: callers
+//! (qt-fleet's DES, qt-ckpt's loader) decide *when* to scrub; the
+//! shield only decides *what* a pass under a bandwidth budget touches.
+//! Everything here is deterministic — no RNG, no ambient time — so the
+//! whole surface stays byte-identical across `QT_THREADS`.
+
+#![warn(missing_docs)]
+
+pub mod region;
+pub mod secded;
+mod shield;
+
+pub use region::{EccRegion, ReadCheck, CODES_PER_WORD};
+pub use secded::{decode, encode, flip, Decode, CHECK_BITS, CODE_BITS, DATA_BITS};
+pub use shield::{FlipFix, ReadOutcome, ScrubOutcome, Shield, ShieldStats};

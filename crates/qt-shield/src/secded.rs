@@ -1,0 +1,226 @@
+//! SEC-DED (72,64) codec: a Hamming code extended with an overall
+//! parity bit, applied per 64-bit storage word.
+//!
+//! Layout follows the classic Hamming convention: codeword positions
+//! `1..=71` hold the 64 data bits interleaved with 7 check bits at the
+//! power-of-two positions (1, 2, 4, 8, 16, 32, 64); an eighth overall
+//! parity bit covers the whole codeword so that single-bit errors are
+//! *corrected* (syndrome points at the flipped position) while
+//! double-bit errors are *detected* (non-zero syndrome with even
+//! overall parity) and never miscorrected.
+//!
+//! The 8 check bits are stored out-of-band as one check byte per data
+//! word: bits 0..7 are the Hamming checks p0..p6, bit 7 is the overall
+//! parity. Public bit indices run 0..72: `0..64` address data bits,
+//! `64..71` the Hamming check bits, and `71` the overall parity bit.
+
+/// Data bits protected per codeword.
+pub const DATA_BITS: u32 = 64;
+/// Check bits stored per codeword (7 Hamming + 1 overall parity).
+pub const CHECK_BITS: u32 = 8;
+/// Total codeword width: any of these bit positions may be flipped and
+/// the codec still corrects (one flip) or detects (two flips).
+pub const CODE_BITS: u32 = DATA_BITS + CHECK_BITS;
+
+/// For each Hamming check bit `j`, the mask over the 64 *data* bits
+/// whose codeword position has bit `j` set.
+const MASKS: [u64; 7] = data_masks();
+/// Inverse map: codeword position (1..=71) to data bit index, or 0xFF
+/// for check-bit positions. Indexed by the 7-bit syndrome.
+const POS_TO_DATA: [u8; 128] = pos_to_data();
+
+const fn data_masks() -> [u64; 7] {
+    let mut masks = [0u64; 7];
+    let mut i = 0u32; // data bit index
+    let mut pos = 1u32; // codeword position
+    while pos <= 71 {
+        if !pos.is_power_of_two() {
+            let mut j = 0;
+            while j < 7 {
+                if pos & (1 << j) != 0 {
+                    masks[j] |= 1u64 << i;
+                }
+                j += 1;
+            }
+            i += 1;
+        }
+        pos += 1;
+    }
+    masks
+}
+
+const fn pos_to_data() -> [u8; 128] {
+    let mut map = [0xFFu8; 128];
+    let mut i = 0u8;
+    let mut pos = 1u32;
+    while pos <= 71 {
+        if !pos.is_power_of_two() {
+            map[pos as usize] = i;
+            i += 1;
+        }
+        pos += 1;
+    }
+    map
+}
+
+#[inline]
+fn parity64(x: u64) -> u8 {
+    (x.count_ones() & 1) as u8
+}
+
+#[inline]
+fn parity8(x: u8) -> u8 {
+    (x.count_ones() & 1) as u8
+}
+
+/// Compute the check byte for a data word.
+#[inline]
+pub fn encode(word: u64) -> u8 {
+    let mut check = 0u8;
+    let mut j = 0;
+    while j < 7 {
+        check |= parity64(word & MASKS[j]) << j;
+        j += 1;
+    }
+    // Overall parity: even parity over all 72 bits including itself.
+    check | ((parity64(word) ^ parity8(check)) << 7)
+}
+
+/// Outcome of decoding one stored (word, check) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decode {
+    /// No error detected; the stored word is the encoded word.
+    Clean,
+    /// Exactly one bit was flipped and has been corrected. `bit` is the
+    /// public bit index (0..64 data, 64..71 Hamming check, 71 overall
+    /// parity); `word` and `check` are the corrected pair.
+    Corrected {
+        /// Flipped bit position in public 0..72 indexing.
+        bit: u8,
+        /// Corrected data word (equals the stored word for check-bit flips).
+        word: u64,
+        /// Corrected check byte.
+        check: u8,
+    },
+    /// A multi-bit error was detected; the word cannot be trusted and
+    /// the region holding it must be quarantined and repaired.
+    Uncorrectable,
+}
+
+/// Decode a stored (word, check) pair, correcting a single flipped bit
+/// anywhere in the 72-bit codeword and detecting double flips.
+pub fn decode(word: u64, check: u8) -> Decode {
+    let mut syn = 0u32;
+    let mut j = 0;
+    while j < 7 {
+        syn |= ((parity64(word & MASKS[j]) ^ ((check >> j) & 1)) as u32) << j;
+        j += 1;
+    }
+    // Recomputed overall parity over all 72 stored bits: zero when the
+    // error count is even, one when odd.
+    let ov = parity64(word) ^ parity8(check);
+    match (syn, ov) {
+        (0, 0) => Decode::Clean,
+        (0, 1) => Decode::Corrected {
+            bit: (CODE_BITS - 1) as u8,
+            word,
+            check: check ^ 0x80,
+        },
+        (s, 1) if s.is_power_of_two() && s <= 64 => {
+            let j = s.trailing_zeros() as u8;
+            Decode::Corrected {
+                bit: DATA_BITS as u8 + j,
+                word,
+                check: check ^ (1 << j),
+            }
+        }
+        (s, 1) => match POS_TO_DATA[s as usize] {
+            // Syndrome addresses a position outside the codeword: only
+            // reachable with >= 3 flips. Refuse to "correct".
+            0xFF => Decode::Uncorrectable,
+            i => {
+                let fixed = word ^ (1u64 << i);
+                Decode::Corrected {
+                    bit: i,
+                    word: fixed,
+                    check,
+                }
+            }
+        },
+        // Non-zero syndrome with even overall parity: double error.
+        (_, _) => Decode::Uncorrectable,
+    }
+}
+
+/// Flip one bit of a stored (word, check) pair, addressing the full
+/// 72-bit codeword with the public indexing used by [`Decode`].
+#[inline]
+pub fn flip(word: u64, check: u8, bit: u8) -> (u64, u8) {
+    debug_assert!((bit as u32) < CODE_BITS);
+    if (bit as u32) < DATA_BITS {
+        (word ^ (1u64 << bit), check)
+    } else {
+        (word, check ^ (1u8 << (bit as u32 - DATA_BITS)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORDS: [u64; 6] = [
+        0,
+        u64::MAX,
+        0xDEAD_BEEF_CAFE_F00D,
+        1,
+        0x8000_0000_0000_0000,
+        0x5555_5555_5555_5555,
+    ];
+
+    #[test]
+    fn clean_round_trip() {
+        for &w in &WORDS {
+            assert_eq!(decode(w, encode(w)), Decode::Clean);
+        }
+    }
+
+    #[test]
+    fn every_single_flip_corrects() {
+        for &w in &WORDS {
+            let check = encode(w);
+            for bit in 0..CODE_BITS as u8 {
+                let (fw, fc) = flip(w, check, bit);
+                match decode(fw, fc) {
+                    Decode::Corrected {
+                        bit: b,
+                        word: cw,
+                        check: cc,
+                    } => {
+                        assert_eq!(b, bit, "word {w:#x}");
+                        assert_eq!(cw, w, "word {w:#x} bit {bit}");
+                        assert_eq!(cc, check, "word {w:#x} bit {bit}");
+                    }
+                    other => panic!("word {w:#x} bit {bit}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_flip_detected() {
+        for &w in &WORDS {
+            let check = encode(w);
+            for a in 0..CODE_BITS as u8 {
+                for b in (a + 1)..CODE_BITS as u8 {
+                    let (fw, fc) = flip(w, check, a);
+                    let (fw, fc) = flip(fw, fc, b);
+                    assert_eq!(
+                        decode(fw, fc),
+                        Decode::Uncorrectable,
+                        "word {w:#x} bits {a},{b}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -474,6 +474,90 @@ impl TelemetrySink {
         );
     }
 
+    /// A scrub pass finished on `replica`: `corrected` single-bit
+    /// errors fixed in place, `uncorrectable` double-bit detections.
+    /// Quiet passes (both zero) are not recorded — a healthy scrubber
+    /// is silent in the telemetry plane.
+    pub fn scrub(&mut self, at_us: u64, replica: usize, corrected: u64, uncorrectable: u64) {
+        if corrected == 0 && uncorrectable == 0 {
+            return;
+        }
+        self.touch(at_us);
+        if corrected > 0 {
+            self.counter(Scope::Fleet, "scrub.corrected", at_us, corrected);
+            self.counter(Scope::Replica(replica), "scrub.corrected", at_us, corrected);
+        }
+        if uncorrectable > 0 {
+            self.counter(Scope::Fleet, "scrub.uncorrectable", at_us, uncorrectable);
+            self.counter(
+                Scope::Replica(replica),
+                "scrub.uncorrectable",
+                at_us,
+                uncorrectable,
+            );
+        }
+        self.black_box(
+            replica,
+            at_us,
+            "scrub",
+            vec![
+                ("corrected".to_string(), corrected as f64),
+                ("uncorrectable".to_string(), uncorrectable as f64),
+            ],
+        );
+    }
+
+    /// The request read path corrected storage faults transiently while
+    /// serving (counted separately from scrubber corrections: these are
+    /// faults the scrubber hadn't reached yet).
+    pub fn read_corrected(&mut self, at_us: u64, replica: usize, corrected: u64) {
+        if corrected == 0 {
+            return;
+        }
+        self.touch(at_us);
+        self.counter(Scope::Fleet, "scrub.read_corrected", at_us, corrected);
+        self.counter(Scope::Replica(replica), "scrub.read_corrected", at_us, corrected);
+    }
+
+    /// A double-bit detection quarantined region `region` on `replica`;
+    /// primary serving routes around it until repair completes.
+    pub fn quarantine(&mut self, at_us: u64, replica: usize, region: usize) {
+        self.touch(at_us);
+        self.counter(Scope::Fleet, "scrub.quarantines", at_us, 1);
+        self.counter(Scope::Replica(replica), "scrub.quarantines", at_us, 1);
+        self.black_box(
+            replica,
+            at_us,
+            "quarantine",
+            vec![("region".to_string(), region as f64)],
+        );
+        self.take_dump(replica, at_us, "quarantine");
+    }
+
+    /// A quarantined region was repaired from pristine master weights
+    /// after `latency_us` of degraded service.
+    pub fn repair(&mut self, at_us: u64, replica: usize, region: usize, latency_us: u64) {
+        self.touch(at_us);
+        self.counter(Scope::Fleet, "scrub.repairs", at_us, 1);
+        self.counter(Scope::Replica(replica), "scrub.repairs", at_us, 1);
+        self.hist(Scope::Fleet, "scrub.repair_us", at_us, latency_us as f32);
+        self.hist(
+            Scope::Replica(replica),
+            "scrub.repair_us",
+            at_us,
+            latency_us as f32,
+        );
+        self.black_box(
+            replica,
+            at_us,
+            "repair",
+            vec![
+                ("region".to_string(), region as f64),
+                ("latency_us".to_string(), latency_us as f64),
+            ],
+        );
+    }
+
     // ---- flight dumps --------------------------------------------------
 
     /// Freeze `replica`'s flight ring now, writing the dump atomically
